@@ -1,0 +1,196 @@
+// Package clustersim is a cycle-level simulator of dynamically tunable
+// clustered processors, reproducing Balasubramonian, Dwarkadas and
+// Albonesi, "Dynamically Managing the Communication-Parallelism Trade-off
+// in Future Clustered Processors" (ISCA 2003).
+//
+// The simulated machine distributes issue queues, register files and
+// functional units over up to 16 clusters connected by a ring or grid
+// interconnect, with either a centralized or a decentralized (bank-per-
+// cluster) L1 data cache. Run-time controllers tune how many clusters a
+// program may dispatch to, trading inter-cluster communication against
+// instruction-level parallelism:
+//
+//	gen := clustersim.NewWorkload("gzip", 1)
+//	ctrl := clustersim.NewExplore(clustersim.ExploreConfig{})
+//	p, err := clustersim.NewProcessor(clustersim.DefaultConfig(), gen, ctrl)
+//	if err != nil { ... }
+//	res := p.Run(1_000_000)
+//	fmt.Println(res.IPC(), res.AvgActiveClusters())
+//
+// Nine synthetic benchmarks stand in for the paper's SPEC2K/Mediabench
+// programs (see Benchmarks and internal/workload for the substitution
+// rationale), and package internal/experiments regenerates every table and
+// figure of the paper's evaluation.
+package clustersim
+
+import (
+	"fmt"
+
+	"clustersim/internal/core"
+	"clustersim/internal/energy"
+	"clustersim/internal/pipeline"
+	"clustersim/internal/smt"
+	"clustersim/internal/stats"
+	"clustersim/internal/workload"
+)
+
+// Core simulator types, aliased from the implementation packages so the
+// public API is a single import.
+type (
+	// Config describes a processor instance (Table 1 defaults).
+	Config = pipeline.Config
+	// Result holds run statistics.
+	Result = pipeline.Result
+	// CommitEvent is what a Controller observes per committed
+	// instruction.
+	CommitEvent = pipeline.CommitEvent
+	// Controller decides the active-cluster count at run time.
+	Controller = pipeline.Controller
+	// Processor is one simulated machine bound to a workload.
+	Processor = pipeline.Processor
+	// Generator produces a benchmark's instruction stream.
+	Generator = workload.Generator
+	// PaperData records a benchmark's published characteristics.
+	PaperData = workload.PaperData
+
+	// ExploreConfig parameterizes the Figure 4 interval-based controller.
+	ExploreConfig = core.ExploreConfig
+	// DistantILPConfig parameterizes the §4.3 no-exploration controller.
+	DistantILPConfig = core.DistantILPConfig
+	// FineGrainConfig parameterizes the §4.4 fine-grained controller.
+	FineGrainConfig = core.FineGrainConfig
+	// Static pins the active-cluster count.
+	Static = core.Static
+
+	// Interval is one entry of a phase-analysis metric trace.
+	Interval = stats.Interval
+	// Recorder collects metric traces for phase analysis (Table 4).
+	Recorder = stats.Recorder
+
+	// EnergyModel estimates leakage/dynamic energy in normalized units
+	// (the §4.2 cluster-gating argument quantified).
+	EnergyModel = energy.Model
+	// EnergyActivity is the activity vector an EnergyModel consumes.
+	EnergyActivity = energy.Activity
+
+	// Thread names one hardware context for multi-threaded studies.
+	Thread = smt.Thread
+	// PartitionPolicy decides per-thread cluster allotments.
+	PartitionPolicy = smt.PartitionPolicy
+	// SMTSystem co-schedules threads on dedicated cluster partitions
+	// (the paper's §1/§8 proposal).
+	SMTSystem = smt.System
+	// SMTReport summarizes a co-schedule.
+	SMTReport = smt.Report
+	// EqualPartition, FixedPartition and DistantILPPartition are the
+	// provided partitioning policies.
+	EqualPartition      = smt.EqualPartition
+	FixedPartition      = smt.FixedPartition
+	DistantILPPartition = smt.DistantILPPartition
+)
+
+// Topology and cache-model selectors.
+const (
+	// RingTopology is the baseline pair of unidirectional rings.
+	RingTopology = pipeline.RingTopology
+	// GridTopology is the §6 two-dimensional mesh.
+	GridTopology = pipeline.GridTopology
+	// CentralizedCache co-locates the L1 and LSQ with cluster 0 (§2.1).
+	CentralizedCache = pipeline.CentralizedCache
+	// DecentralizedCache gives each cluster an L1 bank and LSQ (§2.2).
+	DecentralizedCache = pipeline.DecentralizedCache
+	// SteerOperandMajority, SteerModN and SteerFirstFit select the §2.1
+	// steering heuristics.
+	SteerOperandMajority = pipeline.SteerOperandMajority
+	SteerModN            = pipeline.SteerModN
+	SteerFirstFit        = pipeline.SteerFirstFit
+)
+
+// DefaultConfig returns the paper's Table 1 16-cluster machine with the
+// centralized cache and ring interconnect.
+func DefaultConfig() Config { return pipeline.DefaultConfig() }
+
+// MonolithicConfig returns the Table 3 baseline: one cluster holding the
+// 16-cluster machine's aggregate resources with no communication costs.
+func MonolithicConfig() Config { return pipeline.MonolithicConfig() }
+
+// Benchmarks lists the available synthetic benchmarks (the paper's nine
+// programs).
+func Benchmarks() []string { return workload.Benchmarks() }
+
+// Paper returns the published characteristics the named benchmark targets.
+func Paper(name string) (PaperData, bool) { return workload.Paper(name) }
+
+// NewWorkload returns the named benchmark's deterministic generator; it
+// panics on an unknown name (use Benchmarks for the valid set).
+func NewWorkload(name string, seed uint64) Generator {
+	return workload.MustNew(name, seed)
+}
+
+// NewProcessor builds a processor over gen, governed by ctrl (nil pins the
+// configured ActiveClusters).
+func NewProcessor(cfg Config, gen Generator, ctrl Controller) (*Processor, error) {
+	return pipeline.New(cfg, gen, ctrl)
+}
+
+// NewStatic returns a controller pinning n active clusters.
+func NewStatic(n int) *Static { return &Static{N: n} }
+
+// NewExplore returns the paper's Figure 4 interval-based controller with
+// exploration and a variable interval length. A zero config selects the
+// paper's constants.
+func NewExplore(cfg ExploreConfig) Controller { return core.NewExplore(cfg) }
+
+// NewDistantILP returns the §4.3 interval-based controller without
+// exploration. A zero config selects the paper's constants.
+func NewDistantILP(cfg DistantILPConfig) Controller { return core.NewDistantILP(cfg) }
+
+// NewFineGrain returns the §4.4 fine-grained (basic-block boundary)
+// controller. A zero config selects the paper's constants; set
+// CallReturnOnly for the subroutine-boundary variant.
+func NewFineGrain(cfg FineGrainConfig) Controller { return core.NewFineGrain(cfg) }
+
+// NewRecorder returns a non-reconfiguring controller that records a metric
+// trace at the given base interval length for phase analysis.
+func NewRecorder(base uint64) *Recorder { return stats.NewRecorder(base) }
+
+// Instability computes the §4.1 instability factor (percent of unstable
+// intervals) of a recorded trace using the default significance thresholds.
+func Instability(trace []Interval) float64 {
+	return stats.Instability(trace, stats.DefaultThresholds())
+}
+
+// DefaultEnergyModel returns the normalized energy-model coefficients.
+func DefaultEnergyModel() EnergyModel { return energy.DefaultModel() }
+
+// EnergyActivityOf extracts the energy-relevant activity from a Result.
+// The powered-cluster count assumes disabled clusters are voltage-gated.
+func EnergyActivityOf(r Result) EnergyActivity {
+	return EnergyActivity{
+		Cycles:               r.Cycles,
+		Instructions:         r.Instructions,
+		PoweredClusterCycles: r.ActiveSum,
+		Hops:                 r.Net.Hops,
+		CacheAccesses:        r.Mem.Loads + r.Mem.Stores,
+	}
+}
+
+// NewSMT builds a multi-threaded co-schedule over total dedicated clusters.
+func NewSMT(cfg Config, threads []Thread, total int, policy PartitionPolicy) (*SMTSystem, error) {
+	return smt.New(cfg, threads, total, policy)
+}
+
+// Run is a convenience wrapper: it simulates n instructions of the named
+// benchmark under ctrl (nil for a fixed configuration) and returns the
+// statistics.
+func Run(benchmark string, seed uint64, cfg Config, ctrl Controller, n uint64) (Result, error) {
+	gen, err := workload.New(benchmark, seed)
+	if err != nil {
+		return Result{}, err
+	}
+	p, err := pipeline.New(cfg, gen, ctrl)
+	if err != nil {
+		return Result{}, fmt.Errorf("clustersim: %w", err)
+	}
+	return p.Run(n), nil
+}

@@ -1,0 +1,94 @@
+// Command clustersim runs one benchmark on one processor configuration and
+// prints the run statistics.
+//
+// Usage:
+//
+//	clustersim -bench gzip -policy explore -n 1000000
+//	clustersim -bench swim -policy static -clusters 8 -cache dist -topo grid
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"clustersim"
+)
+
+func main() {
+	bench := flag.String("bench", "gzip", "benchmark name (-list to enumerate)")
+	list := flag.Bool("list", false, "list benchmarks and exit")
+	policy := flag.String("policy", "explore", "static | explore | dilp | fg | fgcr")
+	clusters := flag.Int("clusters", 16, "active clusters for -policy static")
+	n := flag.Uint64("n", 1_000_000, "instructions to simulate")
+	seed := flag.Uint64("seed", 1, "workload seed")
+	cache := flag.String("cache", "central", "central | dist")
+	topo := flag.String("topo", "ring", "ring | grid")
+	interval := flag.Uint64("interval", 0, "interval length for dilp (0 = paper default)")
+	flag.Parse()
+
+	if *list {
+		fmt.Println(strings.Join(clustersim.Benchmarks(), "\n"))
+		return
+	}
+
+	cfg := clustersim.DefaultConfig()
+	switch *cache {
+	case "central":
+	case "dist":
+		cfg.Cache = clustersim.DecentralizedCache
+	default:
+		fatal("unknown -cache %q", *cache)
+	}
+	switch *topo {
+	case "ring":
+	case "grid":
+		cfg.Topology = clustersim.GridTopology
+	default:
+		fatal("unknown -topo %q", *topo)
+	}
+
+	var ctrl clustersim.Controller
+	switch *policy {
+	case "static":
+		ctrl = clustersim.NewStatic(*clusters)
+	case "explore":
+		ctrl = clustersim.NewExplore(clustersim.ExploreConfig{})
+	case "dilp":
+		ctrl = clustersim.NewDistantILP(clustersim.DistantILPConfig{Interval: *interval})
+	case "fg":
+		ctrl = clustersim.NewFineGrain(clustersim.FineGrainConfig{})
+	case "fgcr":
+		ctrl = clustersim.NewFineGrain(clustersim.FineGrainConfig{CallReturnOnly: true})
+	default:
+		fatal("unknown -policy %q", *policy)
+	}
+
+	res, err := clustersim.Run(*bench, *seed, cfg, ctrl, *n)
+	if err != nil {
+		fatal("%v", err)
+	}
+
+	fmt.Printf("benchmark        %s\n", res.Benchmark)
+	fmt.Printf("policy           %s\n", res.Policy)
+	fmt.Printf("instructions     %d\n", res.Instructions)
+	fmt.Printf("cycles           %d\n", res.Cycles)
+	fmt.Printf("IPC              %.3f\n", res.IPC())
+	fmt.Printf("avg clusters     %.2f of %d\n", res.AvgActiveClusters(), cfg.Clusters)
+	fmt.Printf("reconfigs        %d\n", res.Reconfigs)
+	fmt.Printf("mispred interval %.0f instructions\n", res.MispredictInterval())
+	fmt.Printf("reg transfers    %d (avg %.1f cycles)\n", res.RegTransfers, res.AvgRegCommLatency())
+	fmt.Printf("L1 miss rate     %.3f\n", res.Mem.L1MissRate())
+	fmt.Printf("distant issued   %d (%.0f/1K instrs)\n", res.DistantIssued,
+		1000*float64(res.DistantIssued)/float64(res.Instructions))
+	if cfg.Cache == clustersim.DecentralizedCache {
+		fmt.Printf("bank mispredicts %d\n", res.BankMispredicts)
+		fmt.Printf("flush writebacks %d (%d flushes)\n", res.Mem.FlushWritebacks, res.Mem.Flushes)
+	}
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "clustersim: "+format+"\n", args...)
+	os.Exit(2)
+}

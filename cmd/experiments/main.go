@@ -1,0 +1,74 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments -run all
+//	experiments -run fig3,fig5 -scale 0.5 -bench gzip,swim
+//
+// Each experiment prints an aligned table whose rows/series correspond to
+// the paper artifact named by its ID (see -list). EXPERIMENTS.md records
+// the paper-vs-measured comparison for a full -scale 1 run.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"clustersim/internal/experiments"
+)
+
+func main() {
+	runIDs := flag.String("run", "all", "comma-separated experiment IDs, or 'all'")
+	list := flag.Bool("list", false, "list experiment IDs and exit")
+	seed := flag.Uint64("seed", 1, "workload seed")
+	scale := flag.Float64("scale", 1.0, "simulation window scale factor")
+	benches := flag.String("bench", "", "comma-separated benchmark subset (default: all nine)")
+	format := flag.String("format", "text", "output format: text | chart | csv")
+	flag.Parse()
+
+	reg := experiments.Registry()
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	var ids []string
+	if *runIDs == "all" {
+		ids = experiments.IDs()
+	} else {
+		ids = strings.Split(*runIDs, ",")
+	}
+
+	opts := experiments.Options{Seed: *seed, Scale: *scale}
+	if *benches != "" {
+		opts.Benchmarks = strings.Split(*benches, ",")
+	}
+
+	for _, id := range ids {
+		id = strings.TrimSpace(id)
+		driver, ok := reg[id]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q (use -list)\n", id)
+			os.Exit(2)
+		}
+		start := time.Now()
+		for _, table := range driver(opts) {
+			switch *format {
+			case "chart":
+				fmt.Println(table.Chart())
+			case "csv":
+				fmt.Print(table.CSV())
+			default:
+				fmt.Println(table.Format())
+			}
+		}
+		if *format != "csv" {
+			fmt.Printf("(%s completed in %.1fs)\n\n", id, time.Since(start).Seconds())
+		}
+	}
+}

@@ -1,0 +1,50 @@
+// Command instability performs the paper's §4.1 phase-stability analysis:
+// it records a 10K-interval metric trace for each benchmark and prints the
+// instability factor at a range of interval lengths, plus the minimum
+// interval length with <5% instability (paper Table 4).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"strings"
+
+	"clustersim"
+	"clustersim/internal/stats"
+)
+
+func main() {
+	benches := flag.String("bench", "", "comma-separated benchmarks (default: all)")
+	n := flag.Uint64("n", 2_000_000, "instructions to trace per benchmark")
+	base := flag.Uint64("base", 10_000, "base interval length")
+	seed := flag.Uint64("seed", 1, "workload seed")
+	flag.Parse()
+
+	names := clustersim.Benchmarks()
+	if *benches != "" {
+		names = strings.Split(*benches, ",")
+	}
+	mults := []int{1, 2, 4, 8, 16, 32, 64, 128}
+
+	fmt.Printf("%-9s", "bench")
+	for _, m := range mults {
+		fmt.Printf("%9s", fmt.Sprintf("%dK", uint64(m)**base/1000))
+	}
+	fmt.Printf("%12s\n", "min<5%")
+
+	for _, name := range names {
+		rec := clustersim.NewRecorder(*base)
+		if _, err := clustersim.Run(name, *seed, clustersim.DefaultConfig(), rec, *n); err != nil {
+			fmt.Println(err)
+			return
+		}
+		trace := rec.Intervals()
+		th := stats.DefaultThresholds()
+		fmt.Printf("%-9s", name)
+		for _, m := range mults {
+			fmt.Printf("%8.1f%%", stats.Instability(stats.Aggregate(trace, m), th))
+		}
+		minLen, _ := stats.MinStableInterval(trace, *base, mults, 5, th)
+		fmt.Printf("%11dK\n", minLen/1000)
+	}
+}

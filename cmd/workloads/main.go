@@ -1,0 +1,60 @@
+// Command workloads characterizes the synthetic benchmarks against the
+// published values they substitute for (DESIGN.md §2): instruction mix,
+// monolithic IPC vs. Table 3, branch-mispredict interval vs. Table 3, and
+// the distant-ILP fraction that drives the adaptive controllers.
+//
+// Usage:
+//
+//	workloads                  # all nine benchmarks
+//	workloads -bench gzip -n 2000000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"strings"
+
+	"clustersim"
+)
+
+func main() {
+	benches := flag.String("bench", "", "comma-separated benchmarks (default: all)")
+	n := flag.Uint64("n", 1_000_000, "instructions per benchmark")
+	seed := flag.Uint64("seed", 1, "workload seed")
+	flag.Parse()
+
+	names := clustersim.Benchmarks()
+	if *benches != "" {
+		names = strings.Split(*benches, ",")
+	}
+
+	fmt.Printf("%-8s %-11s %7s %7s %9s %9s %7s %7s %8s\n",
+		"bench", "suite", "IPC", "paper", "mispred", "paper", "br%", "mem%", "distant%")
+	for _, name := range names {
+		pd, ok := clustersim.Paper(name)
+		if !ok {
+			fmt.Printf("%-8s unknown benchmark\n", name)
+			continue
+		}
+		mono, err := clustersim.Run(name, *seed, clustersim.MonolithicConfig(), nil, *n)
+		if err != nil {
+			fmt.Println(err)
+			return
+		}
+		wide, err := clustersim.Run(name, *seed, clustersim.DefaultConfig(), nil, *n)
+		if err != nil {
+			fmt.Println(err)
+			return
+		}
+		branches := float64(wide.Branch.Lookups) / float64(wide.Instructions)
+		mems := float64(wide.Mem.Loads+wide.Mem.Stores) / float64(wide.Instructions)
+		distant := float64(wide.DistantCommitted) / float64(wide.Instructions)
+		fmt.Printf("%-8s %-11s %7.2f %7.2f %9.0f %9.0f %6.1f%% %6.1f%% %7.1f%%\n",
+			name, pd.Suite, mono.IPC(), pd.BaseIPC,
+			mono.MispredictInterval(), pd.MispredictInterval,
+			100*branches, 100*mems, 100*distant)
+	}
+	fmt.Println("\nIPC and mispred measured on the monolithic machine; mix and distant")
+	fmt.Println("fraction on the 16-cluster ring machine (distant = issued >=120")
+	fmt.Println("behind the ROB head, the signal the adaptive controllers use).")
+}

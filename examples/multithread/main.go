@@ -1,0 +1,47 @@
+// Multithread: the paper's §1/§8 proposal — dedicate cluster partitions to
+// threads and retune the split dynamically — run on a pair of threads with
+// opposite needs (swim wants width for its distant ILP; vpr cannot use it).
+//
+//	go run ./examples/multithread
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"clustersim"
+)
+
+func main() {
+	threads := []clustersim.Thread{
+		{Bench: "swim", Seed: 1}, // loop FP: distant ILP, wants clusters
+		{Bench: "vpr", Seed: 1},  // serial int: cedes clusters
+	}
+
+	fmt.Println("two threads on one 16-cluster chip, dedicated partitions")
+	fmt.Printf("%-22s %10s %10s %10s %14s\n",
+		"policy", "swim IPC", "vpr IPC", "combined", "avg split")
+
+	for _, pol := range []clustersim.PartitionPolicy{
+		clustersim.EqualPartition{},
+		clustersim.FixedPartition{Split: []int{12, 4}},
+		clustersim.DistantILPPartition{},
+	} {
+		sys, err := clustersim.NewSMT(clustersim.DefaultConfig(), threads, 16, pol)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rep, err := sys.Run(60, 10_000)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-22s %10.3f %10.3f %10.3f %10.1f/%.1f\n",
+			pol.Name(), rep.ThreadIPC[0], rep.ThreadIPC[1], rep.Throughput(),
+			rep.AvgClusters(0), rep.AvgClusters(1))
+	}
+
+	fmt.Println("\nThe distant-ILP partitioner measures each thread's window demand")
+	fmt.Println("every epoch and shifts clusters to the thread that can convert")
+	fmt.Println("them into instructions — the multi-threaded face of the paper's")
+	fmt.Println("communication-parallelism trade-off.")
+}

@@ -1,0 +1,60 @@
+// Phases: watch the adaptive controllers track a program's phase structure.
+//
+// This example runs djpeg — whose IDCT-like blocks have distant ILP while
+// its Huffman-like blocks do not, alternating every few thousand
+// instructions — and samples the active-cluster count over time under three
+// controllers, showing why fine-grained reconfiguration wins where
+// interval-based schemes miss short phases (§4.4 of the paper).
+//
+//	go run ./examples/phases
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"clustersim"
+)
+
+func main() {
+	const bench = "djpeg"
+	const window = 400_000
+	const sampleEvery = 10_000
+
+	fmt.Printf("%s: active-cluster trajectory, one glyph per %d instructions\n", bench, sampleEvery)
+	fmt.Println("(2..9 and * for 10+ clusters; fine phases alternate every ~6K/3K instrs)")
+	fmt.Println()
+
+	controllers := []func() clustersim.Controller{
+		func() clustersim.Controller { return clustersim.NewExplore(clustersim.ExploreConfig{}) },
+		func() clustersim.Controller { return clustersim.NewDistantILP(clustersim.DistantILPConfig{}) },
+		func() clustersim.Controller { return clustersim.NewFineGrain(clustersim.FineGrainConfig{}) },
+	}
+
+	for _, mk := range controllers {
+		ctrl := mk()
+		gen := clustersim.NewWorkload(bench, 1)
+		p, err := clustersim.NewProcessor(clustersim.DefaultConfig(), gen, ctrl)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var glyphs strings.Builder
+		for done := uint64(0); done < window; done += sampleEvery {
+			p.Run(sampleEvery)
+			n := p.ActiveClusters()
+			if n >= 10 {
+				glyphs.WriteByte('*')
+			} else {
+				fmt.Fprintf(&glyphs, "%d", n)
+			}
+		}
+		res := p.Stats()
+		fmt.Printf("%-18s IPC %.3f  avg %.1f clusters\n  %s\n\n",
+			res.Policy, res.IPC(), res.AvgActiveClusters(), glyphs.String())
+	}
+
+	fmt.Println("The interval scheme settles on one width; the distant-ILP scheme")
+	fmt.Println("flips with measurement noise; the per-branch table tracks each")
+	fmt.Println("basic block's needs without re-measuring.")
+}

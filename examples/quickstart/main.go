@@ -1,0 +1,37 @@
+// Quickstart: simulate one benchmark under the paper's adaptive controller
+// and compare it against the static extremes.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"clustersim"
+)
+
+func main() {
+	const bench = "gzip" // alternating high-/low-ILP phases
+	const window = 1_700_000
+
+	fmt.Printf("benchmark %s over %d instructions on the 16-cluster ring machine\n\n", bench, window)
+
+	for _, ctrl := range []clustersim.Controller{
+		clustersim.NewStatic(4),
+		clustersim.NewStatic(16),
+		clustersim.NewExplore(clustersim.ExploreConfig{}),
+	} {
+		res, err := clustersim.Run(bench, 1, clustersim.DefaultConfig(), ctrl, window)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-18s IPC %.3f  avg active clusters %5.2f  reconfigurations %d\n",
+			res.Policy, res.IPC(), res.AvgActiveClusters(), res.Reconfigs)
+	}
+
+	fmt.Println("\nThe interval-based controller explores 2/4/8/16 clusters at each")
+	fmt.Println("phase change and pins the winner — matching the wide machine in")
+	fmt.Println("gzip's distant-ILP phases and the narrow one elsewhere, so it beats")
+	fmt.Println("both static organizations (the paper's central result).")
+}

@@ -1,0 +1,88 @@
+// Package core implements the paper's contribution: run-time algorithms
+// that tune the number of active clusters to each program phase, balancing
+// communication against parallelism.
+//
+// Three families are provided, matching §4:
+//
+//   - IntervalExplore (§4.2, Figure 4): at each detected phase change, run
+//     every candidate configuration for one interval, pick the best IPC,
+//     and keep it until the phase changes; the interval length itself
+//     adapts (doubling while measurements are unstable).
+//   - IntervalDistantILP (§4.3): no exploration — run the full-width
+//     machine for one interval, measure the degree of distant ILP, and
+//     choose directly between a narrow and the widest configuration.
+//   - FineGrain (§4.4): reconfigure at basic-block boundaries using a
+//     PC-indexed reconfiguration table trained by the distant-ILP content
+//     of the 360 committed instructions following each branch; a variant
+//     triggers only at subroutine calls and returns.
+//
+// All controllers implement pipeline.Controller and observe only committed-
+// instruction events — the same information the paper's hardware event
+// counters plus a small software handler would see.
+package core
+
+import (
+	"fmt"
+
+	"clustersim/internal/pipeline"
+)
+
+// Static is a Controller that pins the active-cluster count.
+type Static struct {
+	// N is the number of active clusters.
+	N int
+}
+
+// Name implements pipeline.Controller.
+func (s *Static) Name() string { return fmt.Sprintf("static-%d", s.N) }
+
+// Reset implements pipeline.Controller.
+func (s *Static) Reset(totalClusters int) {
+	if s.N > totalClusters {
+		s.N = totalClusters
+	}
+	if s.N < 1 {
+		s.N = 1
+	}
+}
+
+// OnCommit implements pipeline.Controller.
+func (s *Static) OnCommit(ev pipeline.CommitEvent) int { return s.N }
+
+var _ pipeline.Controller = (*Static)(nil)
+
+// intervalMeter accumulates the per-interval statistics every interval-
+// based controller needs.
+type intervalMeter struct {
+	startCycle uint64
+	instrs     uint64
+	branches   uint64
+	memrefs    uint64
+	distant    uint64
+}
+
+func (m *intervalMeter) observe(ev pipeline.CommitEvent) {
+	if m.instrs == 0 && m.startCycle == 0 {
+		m.startCycle = ev.Cycle
+	}
+	m.instrs++
+	if ev.IsBranch || ev.IsCall || ev.IsReturn {
+		m.branches++
+	}
+	if ev.IsMem {
+		m.memrefs++
+	}
+	if ev.Distant {
+		m.distant++
+	}
+}
+
+func (m *intervalMeter) ipc(now uint64) float64 {
+	d := now - m.startCycle
+	if d == 0 {
+		return 0
+	}
+	return float64(m.instrs) / float64(d)
+}
+
+func (m *intervalMeter) reset() { *m = intervalMeter{} }

@@ -1,0 +1,48 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"clustersim/internal/pipeline"
+	"clustersim/internal/workload"
+)
+
+func TestControllerSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	windows := map[string]uint64{
+		"gzip": 1_700_000, "parser": 2_000_000, "crafty": 1_000_000,
+		"swim": 800_000, "mgrid": 800_000, "galgel": 600_000,
+		"djpeg": 600_000, "cjpeg": 600_000, "vpr": 600_000,
+	}
+	for _, name := range workload.Benchmarks() {
+		w := windows[name]
+		line := fmt.Sprintf("%-7s", name)
+		var best float64
+		var dyn []float64
+		for _, mk := range []func() pipeline.Controller{
+			func() pipeline.Controller { return &Static{N: 4} },
+			func() pipeline.Controller { return &Static{N: 16} },
+			func() pipeline.Controller { return NewExplore(ExploreConfig{}) },
+			func() pipeline.Controller { return NewDistantILP(DistantILPConfig{}) },
+			func() pipeline.Controller { return NewFineGrain(FineGrainConfig{}) },
+			func() pipeline.Controller { return NewFineGrain(FineGrainConfig{CallReturnOnly: true}) },
+		} {
+			ctrl := mk()
+			p := pipeline.MustNew(pipeline.DefaultConfig(), workload.MustNew(name, 1), ctrl)
+			r := p.Run(w)
+			line += fmt.Sprintf(" %s:%.2f", r.Policy, r.IPC())
+			if _, ok := ctrl.(*Static); ok {
+				if r.IPC() > best {
+					best = r.IPC()
+				}
+			} else {
+				dyn = append(dyn, r.IPC())
+			}
+		}
+		fmt.Printf("%s  [best-static %.2f | explore %+.0f%% dilp %+.0f%% fg %+.0f%% fgcr %+.0f%%]\n", line, best,
+			100*(dyn[0]/best-1), 100*(dyn[1]/best-1), 100*(dyn[2]/best-1), 100*(dyn[3]/best-1))
+	}
+}

@@ -1,0 +1,28 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"clustersim/internal/pipeline"
+	"clustersim/internal/workload"
+)
+
+func TestDistCacheSmoke(t *testing.T) {
+	for _, name := range []string{"gzip", "swim", "vpr"} {
+		line := fmt.Sprintf("%-6s", name)
+		for _, mk := range []func() pipeline.Controller{
+			func() pipeline.Controller { return &Static{N: 4} },
+			func() pipeline.Controller { return &Static{N: 16} },
+			func() pipeline.Controller { return NewExplore(ExploreConfig{}) },
+			func() pipeline.Controller { return NewDistantILP(DistantILPConfig{}) },
+		} {
+			cfg := pipeline.DefaultConfig()
+			cfg.Cache = pipeline.DecentralizedCache
+			p := pipeline.MustNew(cfg, workload.MustNew(name, 1), mk())
+			r := p.Run(700_000)
+			line += fmt.Sprintf(" %s:%.2f(rc %d, fw %d)", r.Policy, r.IPC(), r.Reconfigs, r.Mem.FlushWritebacks)
+		}
+		fmt.Println(line)
+	}
+}

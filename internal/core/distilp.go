@@ -1,0 +1,155 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"clustersim/internal/pipeline"
+)
+
+// DistantILPConfig parameterizes the §4.3 no-exploration controller. Zero
+// values select the paper's constants.
+type DistantILPConfig struct {
+	// Interval is the fixed interval length in committed instructions
+	// (paper explores 1K as the best trade-off).
+	Interval uint64
+	// Threshold is the distant-instruction count per interval above
+	// which the full-width configuration is chosen. The paper uses 160
+	// per 1K instructions; this model's in-order-commit window stays
+	// deeper across mispredicts than the paper's substrate, so the
+	// default fraction is recalibrated (DefaultDistantFrac) to separate
+	// the same benchmark classes. Zero scales the default to Interval.
+	Threshold uint64
+	// Narrow and Wide are the two candidate configurations (paper: 4 and
+	// 16 — "our earlier results indicate that these are the two most
+	// meaningful configurations").
+	Narrow, Wide int
+	// IPCDelta and MetricDelta mirror ExploreConfig's significance
+	// tests for phase-change detection.
+	IPCDelta    float64
+	MetricDelta float64
+}
+
+func (c *DistantILPConfig) setDefaults(total int) {
+	if c.Interval == 0 {
+		c.Interval = 1_000
+	}
+	if c.Threshold == 0 {
+		c.Threshold = uint64(float64(c.Interval) * DefaultDistantFrac)
+	}
+	if c.Wide == 0 {
+		c.Wide = total
+	}
+	if c.Narrow == 0 {
+		c.Narrow = 4
+		if c.Narrow > total {
+			c.Narrow = total
+		}
+	}
+	if c.IPCDelta == 0 {
+		c.IPCDelta = 0.25
+	}
+	if c.MetricDelta == 0 {
+		c.MetricDelta = 0.01
+	}
+}
+
+// DefaultDistantFrac is the fraction of committed instructions that must
+// have issued ≥DistantDepth behind the ROB head for a phase to be classed
+// as having distant ILP. The paper's constant is 0.16 on its substrate;
+// recalibrated here (see DESIGN.md §6) because this model's window remains
+// occupied across mispredicts, shifting all benchmarks' distant fractions
+// upward while preserving their ordering.
+const DefaultDistantFrac = 0.78
+
+// DistantILP is the §4.3 interval-based controller without exploration: at
+// each phase change it runs one interval at full width, measures the degree
+// of distant ILP (instructions issued ≥120 behind the ROB head), and picks
+// the narrow or wide configuration directly. Reaction is fast — one
+// interval — at the cost of measurement noise.
+type DistantILP struct {
+	cfg   DistantILPConfig
+	total int
+
+	meter     intervalMeter
+	measuring bool
+
+	haveReference bool
+	refBranches   float64
+	refMemrefs    float64
+	refIPC        float64
+
+	current int
+
+	phaseChanges uint64
+	decisions    uint64
+}
+
+// NewDistantILP returns the §4.3 controller. Pass a zero config for the
+// paper's constants.
+func NewDistantILP(cfg DistantILPConfig) *DistantILP {
+	return &DistantILP{cfg: cfg}
+}
+
+// Name implements pipeline.Controller.
+func (d *DistantILP) Name() string {
+	iv := d.cfg.Interval
+	if iv == 0 {
+		iv = 1_000
+	}
+	return fmt.Sprintf("interval-dilp-%d", iv)
+}
+
+// Reset implements pipeline.Controller.
+func (d *DistantILP) Reset(totalClusters int) {
+	cfg := d.cfg
+	cfg.setDefaults(totalClusters)
+	*d = DistantILP{cfg: cfg, total: totalClusters, measuring: true, current: cfg.Wide}
+}
+
+// PhaseChanges returns the number of detected phase changes.
+func (d *DistantILP) PhaseChanges() uint64 { return d.phaseChanges }
+
+// OnCommit implements pipeline.Controller.
+func (d *DistantILP) OnCommit(ev pipeline.CommitEvent) int {
+	d.meter.observe(ev)
+	if d.meter.instrs < d.cfg.Interval {
+		return d.current
+	}
+	ipc := d.meter.ipc(ev.Cycle)
+	branches := float64(d.meter.branches)
+	memrefs := float64(d.meter.memrefs)
+	distant := d.meter.distant
+	d.meter.reset()
+
+	if d.measuring {
+		// Decision interval at full width: pick by distant ILP.
+		if distant >= d.cfg.Threshold {
+			d.current = d.cfg.Wide
+		} else {
+			d.current = d.cfg.Narrow
+		}
+		d.decisions++
+		d.refIPC = ipc
+		d.refBranches = branches
+		d.refMemrefs = memrefs
+		d.haveReference = true
+		d.measuring = false
+		return d.current
+	}
+
+	metricDelta := d.cfg.MetricDelta * float64(d.cfg.Interval)
+	memChanged := math.Abs(memrefs-d.refMemrefs) > metricDelta
+	brChanged := math.Abs(branches-d.refBranches) > metricDelta
+	ipcChanged := relDelta(ipc, d.refIPC) > d.cfg.IPCDelta
+	if memChanged || brChanged || ipcChanged {
+		// Phase change: return to full width and measure again.
+		d.phaseChanges++
+		d.measuring = true
+		d.haveReference = false
+		d.current = d.cfg.Wide
+	}
+	return d.current
+}
+
+var _ pipeline.Controller = (*DistantILP)(nil)

@@ -1,0 +1,100 @@
+package energy
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestEstimateComponents(t *testing.T) {
+	m := Model{
+		LeakagePerClusterCycle: 1,
+		SharedPerCycle:         2,
+		DynamicPerInstr:        3,
+		DynamicPerHop:          4,
+		DynamicPerCacheAccess:  5,
+	}
+	a := Activity{
+		Cycles:               10,
+		Instructions:         20,
+		PoweredClusterCycles: 100,
+		Hops:                 5,
+		CacheAccesses:        2,
+	}
+	b := m.Estimate(a)
+	if b.Leakage != 100 {
+		t.Fatalf("leakage %f", b.Leakage)
+	}
+	if b.Shared != 20 {
+		t.Fatalf("shared %f", b.Shared)
+	}
+	if b.Dynamic != 3*20+4*5+5*2 {
+		t.Fatalf("dynamic %f", b.Dynamic)
+	}
+	if b.Total() != b.Leakage+b.Shared+b.Dynamic {
+		t.Fatal("total mismatch")
+	}
+	if epi := b.EnergyPerInstruction(20); epi != b.Total()/20 {
+		t.Fatalf("EPI %f", epi)
+	}
+	if (Breakdown{}).EnergyPerInstruction(0) != 0 {
+		t.Fatal("zero-instruction EPI")
+	}
+}
+
+func TestLeakageSavings(t *testing.T) {
+	m := DefaultModel()
+	// Half the clusters powered for the whole run: 50% saving.
+	a := Activity{Cycles: 100, PoweredClusterCycles: 800}
+	if s := m.LeakageSavings(a, 16); math.Abs(s-0.5) > 1e-9 {
+		t.Fatalf("savings %f, want 0.5", s)
+	}
+	// All clusters powered: no saving.
+	a.PoweredClusterCycles = 1600
+	if s := m.LeakageSavings(a, 16); s != 0 {
+		t.Fatalf("savings %f, want 0", s)
+	}
+	if m.LeakageSavings(Activity{}, 16) != 0 {
+		t.Fatal("zero-cycle savings")
+	}
+}
+
+// Property: savings are always in [0,1] when powered <= cycles*total, and
+// energy is monotone in every activity component.
+func TestSavingsBoundedAndMonotone(t *testing.T) {
+	m := DefaultModel()
+	f := func(cycles uint16, frac uint8, hops uint16) bool {
+		c := uint64(cycles) + 1
+		powered := c * uint64(frac%17) // 0..16 clusters
+		a := Activity{Cycles: c, PoweredClusterCycles: powered, Hops: uint64(hops)}
+		s := m.LeakageSavings(a, 16)
+		if s < 0 || s > 1 {
+			return false
+		}
+		more := a
+		more.Hops++
+		return m.Estimate(more).Total() > m.Estimate(a).Total()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEDPCombinesEnergyAndDelay(t *testing.T) {
+	m := DefaultModel()
+	fast := Activity{Cycles: 100, Instructions: 1000, PoweredClusterCycles: 1600}
+	slow := Activity{Cycles: 200, Instructions: 1000, PoweredClusterCycles: 800}
+	// The slow run leaks half per cycle but takes twice as long: its
+	// leakage energy ties, and the shared always-on term makes its EDP
+	// strictly worse at equal dynamic work.
+	if m.EDP(slow) <= m.EDP(fast) {
+		t.Fatalf("EDP fast %f vs slow %f", m.EDP(fast), m.EDP(slow))
+	}
+}
+
+func TestDefaultModelSane(t *testing.T) {
+	m := DefaultModel()
+	if m.LeakagePerClusterCycle <= 0 || m.SharedPerCycle <= 0 || m.DynamicPerInstr <= 0 {
+		t.Fatal("default coefficients must be positive")
+	}
+}

@@ -1,0 +1,223 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// tinyOpts keeps experiment tests fast: two benchmarks, small windows.
+func tinyOpts() Options {
+	return Options{Seed: 1, Scale: 0.08, Benchmarks: []string{"gzip", "vpr"}}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"ablate", "ext-energy", "ext-smt", "fig3", "fig5", "fig6", "fig7", "fig8", "params", "sens", "table3", "table4"}
+	got := IDs()
+	if len(got) != len(want) {
+		t.Fatalf("IDs: %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("IDs[%d] = %s, want %s", i, got[i], want[i])
+		}
+	}
+	reg := Registry()
+	for _, id := range got {
+		if reg[id] == nil {
+			t.Fatalf("nil driver for %s", id)
+		}
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	var o Options
+	if o.seed() != 1 || o.scale() != 1 {
+		t.Fatal("zero-options defaults wrong")
+	}
+	if len(o.benchmarks()) != 9 {
+		t.Fatalf("default benchmark set: %v", o.benchmarks())
+	}
+	if o.Window("gzip") <= o.Window("cjpeg") {
+		t.Fatal("gzip window should exceed cjpeg's (longer phases)")
+	}
+	small := Options{Scale: 0.0001}
+	if small.Window("gzip") < 50_000 {
+		t.Fatal("window floor not applied")
+	}
+}
+
+func TestTableFormat(t *testing.T) {
+	tb := &Table{
+		ID:      "x",
+		Title:   "test",
+		Columns: []string{"a", "b"},
+		Rows: []Row{
+			{Name: "row1", Cells: []Cell{Num(1.5, 2), Str("hi")}},
+			{Name: "row2", Cells: []Cell{Num(2.25, 2)}}, // short row
+		},
+		Notes: []string{"a note"},
+	}
+	s := tb.Format()
+	for _, want := range []string{"row1", "1.50", "hi", "a note", "== x: test =="} {
+		if !strings.Contains(s, want) {
+			t.Errorf("formatted table missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestGeomean(t *testing.T) {
+	if geomean(nil) != 0 {
+		t.Fatal("empty geomean")
+	}
+	if g := geomean([]float64{2, 8}); g != 4 {
+		t.Fatalf("geomean(2,8) = %f", g)
+	}
+	if geomean([]float64{1, 0}) != 0 {
+		t.Fatal("non-positive input should yield 0")
+	}
+}
+
+func TestParams(t *testing.T) {
+	tb := Params()
+	if len(tb.Rows) < 10 {
+		t.Fatalf("params table too small: %d rows", len(tb.Rows))
+	}
+	if !strings.Contains(tb.Format(), "480") {
+		t.Fatal("ROB size missing from params")
+	}
+}
+
+func TestTable3Tiny(t *testing.T) {
+	tb := Table3(tinyOpts())
+	if len(tb.Rows) != 2 {
+		t.Fatalf("%d rows", len(tb.Rows))
+	}
+	for _, r := range tb.Rows {
+		if r.Cells[1].Value <= 0 {
+			t.Errorf("%s: non-positive IPC", r.Name)
+		}
+	}
+}
+
+func TestFig3Tiny(t *testing.T) {
+	tb := Fig3(tinyOpts())
+	for _, r := range tb.Rows {
+		for i := 0; i < 4; i++ {
+			if r.Cells[i].Value <= 0 {
+				t.Errorf("%s col %d: non-positive IPC", r.Name, i)
+			}
+		}
+	}
+}
+
+func TestTable4Tiny(t *testing.T) {
+	tb := Table4(tinyOpts())
+	for _, r := range tb.Rows {
+		if r.Cells[0].Value < 10_000 {
+			t.Errorf("%s: min interval %f below base", r.Name, r.Cells[0].Value)
+		}
+		if r.Cells[2].Value < 0 || r.Cells[2].Value > 100 {
+			t.Errorf("%s: instability %f out of range", r.Name, r.Cells[2].Value)
+		}
+	}
+}
+
+func TestFig5Tiny(t *testing.T) {
+	tb := Fig5(tinyOpts())
+	// 2 benchmarks + geomean row.
+	if len(tb.Rows) != 3 {
+		t.Fatalf("%d rows", len(tb.Rows))
+	}
+	if tb.Rows[2].Name != "geomean" {
+		t.Fatal("missing geomean row")
+	}
+	found := false
+	for _, n := range tb.Notes {
+		if strings.Contains(n, "explore vs best static") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("missing improvement note")
+	}
+}
+
+func TestFig6Fig7Fig8Tiny(t *testing.T) {
+	for _, f := range []func(Options) *Table{Fig6, Fig7, Fig8} {
+		tb := f(tinyOpts())
+		if len(tb.Rows) < 3 {
+			t.Fatalf("%s: %d rows", tb.ID, len(tb.Rows))
+		}
+		for _, r := range tb.Rows {
+			for i, c := range r.Cells {
+				if c.IsNum && c.Value <= 0 {
+					t.Errorf("%s %s col %d non-positive", tb.ID, r.Name, i)
+				}
+			}
+		}
+	}
+}
+
+func TestSensitivityTiny(t *testing.T) {
+	o := tinyOpts()
+	o.Benchmarks = []string{"gzip"}
+	tb := Sensitivity(o)
+	if len(tb.Rows) != 5 {
+		t.Fatalf("%d variants", len(tb.Rows))
+	}
+}
+
+func TestEnergyTiny(t *testing.T) {
+	tb := Energy(tinyOpts())
+	if len(tb.Rows) != 2 {
+		t.Fatalf("%d rows", len(tb.Rows))
+	}
+	for _, r := range tb.Rows {
+		save := r.Cells[3].Value
+		if save < 0 || save > 100 {
+			t.Errorf("%s: leakage saving %f out of range", r.Name, save)
+		}
+		if r.Cells[4].Value <= 0 {
+			t.Errorf("%s: non-positive EDP ratio", r.Name)
+		}
+	}
+}
+
+func TestSMTTiny(t *testing.T) {
+	o := tinyOpts()
+	tb := SMT(o)
+	if len(tb.Rows) != 4 {
+		t.Fatalf("%d rows", len(tb.Rows))
+	}
+	for _, r := range tb.Rows {
+		for i := 0; i < 4; i++ {
+			if r.Cells[i].IsNum && r.Cells[i].Value <= 0 {
+				t.Errorf("%s col %d: non-positive throughput", r.Name, i)
+			}
+		}
+	}
+}
+
+func TestAblationsTiny(t *testing.T) {
+	tb := Ablations(tinyOpts())
+	if len(tb.Rows) != 6 {
+		t.Fatalf("%d rows", len(tb.Rows))
+	}
+	// Idealizations can only help: the free variants must not be slower
+	// than their base.
+	base := tb.Rows[0].Cells[0].Value
+	for _, i := range []int{1, 2} {
+		if tb.Rows[i].Cells[0].Value < base*0.99 {
+			t.Errorf("central ablation %s below base", tb.Rows[i].Name)
+		}
+	}
+	distBase := tb.Rows[3].Cells[0].Value
+	for _, i := range []int{4, 5} {
+		if tb.Rows[i].Cells[0].Value < distBase*0.99 {
+			t.Errorf("dist ablation %s below base", tb.Rows[i].Name)
+		}
+	}
+	if len(tb.Notes) < 2 {
+		t.Fatal("missing latency/disabled notes")
+	}
+}

@@ -1,0 +1,116 @@
+package experiments
+
+import (
+	"fmt"
+
+	"clustersim/internal/core"
+	"clustersim/internal/energy"
+	"clustersim/internal/pipeline"
+	"clustersim/internal/smt"
+)
+
+// Energy quantifies §4.2's leakage argument with the normalized energy
+// model: per benchmark, the leakage-energy saving and energy-delay product
+// of the adaptive scheme (with disabled clusters voltage-gated) against the
+// always-16 static machine.
+func Energy(o Options) *Table {
+	t := &Table{
+		ID:      "ext-energy",
+		Title:   "Leakage savings from cluster disabling (extension of §4.2)",
+		Columns: []string{"IPC-16", "IPC-adaptive", "disabled", "leak-save%", "EDP-ratio"},
+		Notes: []string{
+			"normalized first-order energy model (internal/energy); the paper reports only the disabled-cluster count",
+			"EDP-ratio < 1 means the adaptive gated machine wins energy-delay",
+		},
+	}
+	model := energy.DefaultModel()
+	var disabledSum float64
+	for _, b := range o.benchmarks() {
+		w := o.Window(b)
+		rs := run(b, o.seed(), pipeline.DefaultConfig(), &core.Static{N: 16}, w)
+		ra := run(b, o.seed(), pipeline.DefaultConfig(), core.NewExplore(core.ExploreConfig{}), w)
+		act := func(r pipeline.Result) energy.Activity {
+			return energy.Activity{
+				Cycles:               r.Cycles,
+				Instructions:         r.Instructions,
+				PoweredClusterCycles: r.ActiveSum,
+				Hops:                 r.Net.Hops,
+				CacheAccesses:        r.Mem.Loads + r.Mem.Stores,
+			}
+		}
+		saving := model.LeakageSavings(act(ra), 16)
+		edpRatio := model.EDP(act(ra)) / model.EDP(act(rs))
+		disabled := 16 - ra.AvgActiveClusters()
+		disabledSum += disabled
+		t.Rows = append(t.Rows, Row{Name: b, Cells: []Cell{
+			Num(rs.IPC(), 2),
+			Num(ra.IPC(), 2),
+			Num(disabled, 1),
+			Num(100*saving, 0),
+			Num(edpRatio, 2),
+		}})
+	}
+	t.Notes = append(t.Notes, fmt.Sprintf("avg clusters disabled: %.1f of 16 (paper: 8.3)",
+		disabledSum/float64(len(o.benchmarks()))))
+	return t
+}
+
+// SMT evaluates the paper's future-work proposal (§1, §8): dedicating
+// cluster partitions to threads and retuning the split dynamically. Pairs
+// an ILP-hungry thread with a serial one and compares static splits against
+// the distant-ILP-driven partitioner.
+func SMT(o Options) *Table {
+	t := &Table{
+		ID:      "ext-smt",
+		Title:   "Multi-threaded cluster partitioning (extension of §1/§8)",
+		Columns: []string{"equal-8/8", "fixed-12/4", "fixed-4/12", "adaptive", "adaptive-split"},
+		Notes: []string{
+			"cells are combined instructions per cycle over both threads",
+			"partitions are dedicated (no cross-thread interference), per the paper's proposal",
+		},
+	}
+	pairs := [][2]string{
+		{"swim", "vpr"},
+		{"djpeg", "parser"},
+		{"mgrid", "crafty"},
+		{"gzip", "cjpeg"},
+	}
+	epochCycles := uint64(10_000)
+	epochs := int(o.scale() * 100)
+	if epochs < 20 {
+		epochs = 20
+	}
+	for _, pair := range pairs {
+		threads := []smt.Thread{
+			{Bench: pair[0], Seed: o.seed()},
+			{Bench: pair[1], Seed: o.seed()},
+		}
+		row := Row{Name: pair[0] + "+" + pair[1]}
+		var adaptive smt.Report
+		for _, pol := range []smt.PartitionPolicy{
+			smt.EqualPartition{},
+			smt.FixedPartition{Split: []int{12, 4}},
+			smt.FixedPartition{Split: []int{4, 12}},
+			smt.DistantILPPartition{},
+		} {
+			sys, err := smt.New(pipeline.DefaultConfig(), threads, 16, pol)
+			if err != nil {
+				row.Cells = append(row.Cells, Str("err"))
+				continue
+			}
+			rep, err := sys.Run(epochs, epochCycles)
+			if err != nil {
+				row.Cells = append(row.Cells, Str("err"))
+				continue
+			}
+			row.Cells = append(row.Cells, Num(rep.Throughput(), 2))
+			if _, ok := pol.(smt.DistantILPPartition); ok {
+				adaptive = rep
+			}
+		}
+		row.Cells = append(row.Cells, Str(fmt.Sprintf("%.1f/%.1f",
+			adaptive.AvgClusters(0), adaptive.AvgClusters(1))))
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}

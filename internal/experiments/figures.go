@@ -1,0 +1,280 @@
+package experiments
+
+import (
+	"fmt"
+
+	"clustersim/internal/core"
+	"clustersim/internal/pipeline"
+	"clustersim/internal/stats"
+	"clustersim/internal/workload"
+)
+
+// Table3 reproduces the benchmark-characterization table: base IPC on the
+// monolithic machine and instructions per branch mispredict, against the
+// paper's published values.
+func Table3(o Options) *Table {
+	t := &Table{
+		ID:      "table3",
+		Title:   "Benchmark characterization (paper Table 3)",
+		Columns: []string{"suite", "IPC", "IPC(paper)", "mispred-int", "mispred-int(paper)"},
+		Notes: []string{
+			"IPC measured on the monolithic machine (16-cluster resources, no communication cost)",
+		},
+	}
+	for _, b := range o.benchmarks() {
+		pd, _ := workload.Paper(b)
+		r := run(b, o.seed(), pipeline.MonolithicConfig(), nil, o.Window(b))
+		t.Rows = append(t.Rows, Row{Name: b, Cells: []Cell{
+			Str(pd.Suite),
+			Num(r.IPC(), 2),
+			Num(pd.BaseIPC, 2),
+			Num(r.MispredictInterval(), 0),
+			Num(pd.MispredictInterval, 0),
+		}})
+	}
+	return t
+}
+
+// Fig3 reproduces Figure 3: IPC of statically fixed 2/4/8/16-cluster
+// organizations with the centralized cache and ring interconnect.
+func Fig3(o Options) *Table {
+	t := &Table{
+		ID:      "fig3",
+		Title:   "IPC of fixed cluster organizations (paper Figure 3)",
+		Columns: []string{"2", "4", "8", "16", "best"},
+	}
+	counts := []int{2, 4, 8, 16}
+	for _, b := range o.benchmarks() {
+		row := Row{Name: b}
+		best, bestN := 0.0, 0
+		for _, n := range counts {
+			cfg := pipeline.DefaultConfig()
+			cfg.ActiveClusters = n
+			r := run(b, o.seed(), cfg, nil, o.Window(b))
+			row.Cells = append(row.Cells, Num(r.IPC(), 2))
+			if r.IPC() > best {
+				best, bestN = r.IPC(), n
+			}
+		}
+		row.Cells = append(row.Cells, Str(fmt.Sprintf("%d", bestN)))
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}
+
+// Table4 reproduces the instability-factor analysis: the minimum interval
+// length with <5% instability and the instability at a 10K interval.
+func Table4(o Options) *Table {
+	t := &Table{
+		ID:      "table4",
+		Title:   "Instability factors vs interval length (paper Table 4)",
+		Columns: []string{"min-interval", "factor%", "instab@10K%", "paper-min", "paper@10K%"},
+		Notes: []string{
+			"phase lengths are scaled ~10x down from the paper's, so minimum intervals scale accordingly",
+		},
+	}
+	mults := []int{1, 2, 4, 8, 16, 32, 64, 128}
+	for _, b := range o.benchmarks() {
+		rec := stats.NewRecorder(10_000)
+		cfg := pipeline.DefaultConfig()
+		gen := workload.MustNew(b, o.seed())
+		p := pipeline.MustNew(cfg, gen, rec)
+		p.Run(2 * o.Window(b))
+		trace := rec.Intervals()
+		th := stats.DefaultThresholds()
+		minLen, factor := stats.MinStableInterval(trace, 10_000, mults, 5, th)
+		at10K := stats.Instability(trace, th)
+		pd, _ := workload.Paper(b)
+		t.Rows = append(t.Rows, Row{Name: b, Cells: []Cell{
+			Num(float64(minLen), 0),
+			Num(factor, 1),
+			Num(at10K, 1),
+			Num(pd.MinStableInterval, 0),
+			Num(pd.InstabilityAt10K, 0),
+		}})
+	}
+	return t
+}
+
+// schemeSet runs one benchmark under a list of controllers and returns the
+// IPCs in order.
+func schemeSet(b string, o Options, cfg pipeline.Config, mks []func() pipeline.Controller) []pipeline.Result {
+	out := make([]pipeline.Result, len(mks))
+	for i, mk := range mks {
+		out[i] = run(b, o.seed(), cfg, mk(), o.Window(b))
+	}
+	return out
+}
+
+// summarize appends a geomean row plus improvement-vs-best-static notes.
+// staticCols identifies which columns are static configurations.
+func summarize(t *Table, ipcs map[string][]float64, staticCols []int) {
+	if len(ipcs) == 0 {
+		return
+	}
+	cols := len(t.Columns)
+	gm := make([]float64, cols)
+	for c := 0; c < cols; c++ {
+		var vals []float64
+		for _, row := range ipcs {
+			if c < len(row) {
+				vals = append(vals, row[c])
+			}
+		}
+		gm[c] = geomean(vals)
+	}
+	row := Row{Name: "geomean"}
+	for _, v := range gm {
+		row.Cells = append(row.Cells, Num(v, 2))
+	}
+	t.Rows = append(t.Rows, row)
+	bestStatic := 0.0
+	for _, c := range staticCols {
+		if gm[c] > bestStatic {
+			bestStatic = gm[c]
+		}
+	}
+	for c := 0; c < cols; c++ {
+		isStatic := false
+		for _, s := range staticCols {
+			if c == s {
+				isStatic = true
+			}
+		}
+		if isStatic || bestStatic == 0 {
+			continue
+		}
+		t.Notes = append(t.Notes, fmt.Sprintf("%s vs best static (geomean): %+.1f%%",
+			t.Columns[c], 100*(gm[c]/bestStatic-1)))
+	}
+}
+
+// Fig5 reproduces Figure 5: static 4/16 against the interval-based scheme
+// with exploration and the no-exploration distant-ILP scheme at three fixed
+// interval lengths, on the centralized cache.
+func Fig5(o Options) *Table {
+	t := &Table{
+		ID:      "fig5",
+		Title:   "Interval-based schemes, centralized cache (paper Figure 5)",
+		Columns: []string{"static-4", "static-16", "explore", "dilp-500", "dilp-1K", "dilp-10K"},
+	}
+	mks := []func() pipeline.Controller{
+		func() pipeline.Controller { return &core.Static{N: 4} },
+		func() pipeline.Controller { return &core.Static{N: 16} },
+		func() pipeline.Controller { return core.NewExplore(core.ExploreConfig{}) },
+		func() pipeline.Controller { return core.NewDistantILP(core.DistantILPConfig{Interval: 500}) },
+		func() pipeline.Controller { return core.NewDistantILP(core.DistantILPConfig{Interval: 1000}) },
+		func() pipeline.Controller { return core.NewDistantILP(core.DistantILPConfig{Interval: 10_000}) },
+	}
+	ipcs := map[string][]float64{}
+	for _, b := range o.benchmarks() {
+		rs := schemeSet(b, o, pipeline.DefaultConfig(), mks)
+		row := Row{Name: b}
+		for _, r := range rs {
+			row.Cells = append(row.Cells, Num(r.IPC(), 2))
+			ipcs[b] = append(ipcs[b], r.IPC())
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	summarize(t, ipcs, []int{0, 1})
+	return t
+}
+
+// Fig6 reproduces Figure 6: the fine-grained reconfiguration schemes
+// against the exploration scheme and the static bases.
+func Fig6(o Options) *Table {
+	t := &Table{
+		ID:      "fig6",
+		Title:   "Fine-grained reconfiguration (paper Figure 6)",
+		Columns: []string{"static-4", "static-16", "explore", "fg-branch", "fg-callreturn"},
+	}
+	mks := []func() pipeline.Controller{
+		func() pipeline.Controller { return &core.Static{N: 4} },
+		func() pipeline.Controller { return &core.Static{N: 16} },
+		func() pipeline.Controller { return core.NewExplore(core.ExploreConfig{}) },
+		func() pipeline.Controller { return core.NewFineGrain(core.FineGrainConfig{}) },
+		func() pipeline.Controller { return core.NewFineGrain(core.FineGrainConfig{CallReturnOnly: true}) },
+	}
+	ipcs := map[string][]float64{}
+	for _, b := range o.benchmarks() {
+		rs := schemeSet(b, o, pipeline.DefaultConfig(), mks)
+		row := Row{Name: b}
+		for _, r := range rs {
+			row.Cells = append(row.Cells, Num(r.IPC(), 2))
+			ipcs[b] = append(ipcs[b], r.IPC())
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	summarize(t, ipcs, []int{0, 1})
+	return t
+}
+
+// Fig7 reproduces Figure 7: the decentralized cache model under the
+// interval-based schemes, including reconfiguration cache flushes.
+func Fig7(o Options) *Table {
+	t := &Table{
+		ID:      "fig7",
+		Title:   "Interval-based schemes, decentralized cache (paper Figure 7)",
+		Columns: []string{"static-4", "static-16", "explore", "dilp-1K", "dilp-10K"},
+	}
+	cfg := pipeline.DefaultConfig()
+	cfg.Cache = pipeline.DecentralizedCache
+	mks := []func() pipeline.Controller{
+		func() pipeline.Controller { return &core.Static{N: 4} },
+		func() pipeline.Controller { return &core.Static{N: 16} },
+		func() pipeline.Controller { return core.NewExplore(core.ExploreConfig{}) },
+		func() pipeline.Controller { return core.NewDistantILP(core.DistantILPConfig{Interval: 1000}) },
+		func() pipeline.Controller { return core.NewDistantILP(core.DistantILPConfig{Interval: 10_000}) },
+	}
+	ipcs := map[string][]float64{}
+	var flushWB, flushes uint64
+	var exploreCycles uint64
+	for _, b := range o.benchmarks() {
+		rs := schemeSet(b, o, cfg, mks)
+		row := Row{Name: b}
+		for i, r := range rs {
+			row.Cells = append(row.Cells, Num(r.IPC(), 2))
+			ipcs[b] = append(ipcs[b], r.IPC())
+			if i == 2 {
+				flushWB += r.Mem.FlushWritebacks
+				flushes += r.Mem.Flushes
+				exploreCycles += r.Cycles
+			}
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	summarize(t, ipcs, []int{0, 1})
+	t.Notes = append(t.Notes, fmt.Sprintf(
+		"explore scheme: %d reconfiguration flushes, %d writebacks (paper: flushes cost ~0.3%% IPC)",
+		flushes, flushWB))
+	return t
+}
+
+// Fig8 reproduces Figure 8: the grid interconnect under the exploration
+// scheme.
+func Fig8(o Options) *Table {
+	t := &Table{
+		ID:      "fig8",
+		Title:   "Grid interconnect (paper Figure 8)",
+		Columns: []string{"static-4", "static-16", "explore"},
+	}
+	cfg := pipeline.DefaultConfig()
+	cfg.Topology = pipeline.GridTopology
+	mks := []func() pipeline.Controller{
+		func() pipeline.Controller { return &core.Static{N: 4} },
+		func() pipeline.Controller { return &core.Static{N: 16} },
+		func() pipeline.Controller { return core.NewExplore(core.ExploreConfig{}) },
+	}
+	ipcs := map[string][]float64{}
+	for _, b := range o.benchmarks() {
+		rs := schemeSet(b, o, cfg, mks)
+		row := Row{Name: b}
+		for _, r := range rs {
+			row.Cells = append(row.Cells, Num(r.IPC(), 2))
+			ipcs[b] = append(ipcs[b], r.IPC())
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	summarize(t, ipcs, []int{0, 1})
+	return t
+}

@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Chart renders the table's numeric columns as horizontal ASCII bar groups,
+// one group per row — a terminal rendition of the paper's bar figures.
+func (t *Table) Chart() string {
+	const width = 40
+	// Find the numeric scale.
+	max := 0.0
+	for _, r := range t.Rows {
+		for _, c := range r.Cells {
+			if c.IsNum && c.Value > max {
+				max = c.Value
+			}
+		}
+	}
+	if max == 0 {
+		return t.Format() // nothing numeric to draw
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", t.ID, t.Title)
+	nameW := 0
+	for _, c := range t.Columns {
+		if len(c) > nameW {
+			nameW = len(c)
+		}
+	}
+	for _, r := range t.Rows {
+		fmt.Fprintf(&b, "%s\n", r.Name)
+		for i, c := range r.Cells {
+			if !c.IsNum || i >= len(t.Columns) {
+				continue
+			}
+			n := int(c.Value / max * width)
+			if n < 0 {
+				n = 0
+			}
+			fmt.Fprintf(&b, "  %-*s |%s %s\n", nameW, t.Columns[i], strings.Repeat("#", n), c.Text)
+		}
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values (header row first) for
+// plotting outside the simulator.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	b.WriteString("benchmark")
+	for _, c := range t.Columns {
+		b.WriteByte(',')
+		b.WriteString(csvEscape(c))
+	}
+	b.WriteByte('\n')
+	for _, r := range t.Rows {
+		b.WriteString(csvEscape(r.Name))
+		for i := range t.Columns {
+			b.WriteByte(',')
+			if i < len(r.Cells) {
+				b.WriteString(csvEscape(r.Cells[i].Text))
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func csvEscape(s string) string {
+	if !strings.ContainsAny(s, ",\"\n") {
+		return s
+	}
+	return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+}

@@ -1,0 +1,74 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func renderFixture() *Table {
+	return &Table{
+		ID:      "fig-x",
+		Title:   "chart test",
+		Columns: []string{"a", "b"},
+		Rows: []Row{
+			{Name: "r1", Cells: []Cell{Num(2, 2), Num(1, 2)}},
+			{Name: "r2", Cells: []Cell{Num(4, 2), Str("n/a")}},
+		},
+		Notes: []string{"hello"},
+	}
+}
+
+func TestChart(t *testing.T) {
+	s := renderFixture().Chart()
+	if !strings.Contains(s, "r1") || !strings.Contains(s, "####") {
+		t.Fatalf("chart missing bars:\n%s", s)
+	}
+	// The max value (4) should have the longest bar.
+	lines := strings.Split(s, "\n")
+	longest, maxHashes := "", 0
+	for _, l := range lines {
+		if n := strings.Count(l, "#"); n > maxHashes {
+			maxHashes, longest = n, l
+		}
+	}
+	if !strings.Contains(longest, "4.00") {
+		t.Fatalf("longest bar is not the max value: %q", longest)
+	}
+	if !strings.Contains(s, "hello") {
+		t.Fatal("notes missing")
+	}
+}
+
+func TestChartNoNumeric(t *testing.T) {
+	tb := &Table{ID: "t", Title: "x", Columns: []string{"v"},
+		Rows: []Row{{Name: "r", Cells: []Cell{Str("text")}}}}
+	if got := tb.Chart(); !strings.Contains(got, "text") {
+		t.Fatalf("fallback format missing content: %s", got)
+	}
+}
+
+func TestCSV(t *testing.T) {
+	s := renderFixture().CSV()
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("%d CSV lines", len(lines))
+	}
+	if lines[0] != "benchmark,a,b" {
+		t.Fatalf("header %q", lines[0])
+	}
+	if lines[1] != "r1,2.00,1.00" {
+		t.Fatalf("row %q", lines[1])
+	}
+	if lines[2] != "r2,4.00,n/a" {
+		t.Fatalf("row %q", lines[2])
+	}
+}
+
+func TestCSVEscape(t *testing.T) {
+	if csvEscape("plain") != "plain" {
+		t.Fatal("plain escaped")
+	}
+	if csvEscape(`a,"b`) != `"a,""b"` {
+		t.Fatalf("escape %q", csvEscape(`a,"b`))
+	}
+}

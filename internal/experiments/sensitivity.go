@@ -1,0 +1,165 @@
+package experiments
+
+import (
+	"fmt"
+
+	"clustersim/internal/core"
+	"clustersim/internal/pipeline"
+)
+
+// Sensitivity reproduces §6's parameter sweeps: fewer/more per-cluster
+// resources, extra functional units, and doubled hop latency, reporting the
+// exploration scheme's geomean improvement over the best static base under
+// each variant (the paper reports 8%, 13%, ~11% and 23%).
+func Sensitivity(o Options) *Table {
+	t := &Table{
+		ID:    "sens",
+		Title: "Sensitivity analysis (paper §6)",
+		Columns: []string{
+			"static-4", "static-8", "static-16", "explore", "improve%",
+		},
+	}
+	variants := []struct {
+		name   string
+		mutate func(*pipeline.Config)
+		paper  string
+	}{
+		{"baseline", func(c *pipeline.Config) {}, "11%"},
+		{"fewer-resources (10 IQ / 20 regs)", func(c *pipeline.Config) {
+			c.IQPerCluster = 10
+			c.RegsPerCluster = 20
+		}, "8%"},
+		{"more-resources (20 IQ / 40 regs)", func(c *pipeline.Config) {
+			c.IQPerCluster = 20
+			c.RegsPerCluster = 40
+		}, "13%"},
+		{"more-FUs (2 of each)", func(c *pipeline.Config) {
+			c.IntALU, c.IntMulDiv, c.FPALU, c.FPMulDiv = 2, 2, 2, 2
+		}, "~11%"},
+		{"2-cycle hops", func(c *pipeline.Config) {
+			c.HopLatency = 2
+		}, "23%"},
+	}
+	for _, v := range variants {
+		// Geomean IPC over the benchmark set per scheme.
+		statics := []int{4, 8, 16}
+		gms := make([]float64, 0, 4)
+		var per [4][]float64
+		for _, b := range o.benchmarks() {
+			for i, n := range statics {
+				cfg := pipeline.DefaultConfig()
+				v.mutate(&cfg)
+				r := run(b, o.seed(), cfg, &core.Static{N: n}, o.Window(b))
+				per[i] = append(per[i], r.IPC())
+			}
+			cfg := pipeline.DefaultConfig()
+			v.mutate(&cfg)
+			r := run(b, o.seed(), cfg, core.NewExplore(core.ExploreConfig{}), o.Window(b))
+			per[3] = append(per[3], r.IPC())
+		}
+		for i := range per {
+			gms = append(gms, geomean(per[i]))
+		}
+		bestStatic := gms[0]
+		for _, g := range gms[:3] {
+			if g > bestStatic {
+				bestStatic = g
+			}
+		}
+		improve := 100 * (gms[3]/bestStatic - 1)
+		t.Rows = append(t.Rows, Row{Name: v.name, Cells: []Cell{
+			Num(gms[0], 2), Num(gms[1], 2), Num(gms[2], 2), Num(gms[3], 2),
+			Str(fmt.Sprintf("%+.1f%% (paper %s)", improve, v.paper)),
+		}})
+	}
+	t.Notes = append(t.Notes,
+		"cells are geomean IPC over the benchmark set; improve% compares explore to the best static geomean")
+	return t
+}
+
+// Ablations reproduces the paper's in-text idealization studies: zero-cost
+// load/store communication (+31%), zero-cost register communication (+11%)
+// on the centralized 16-cluster machine; perfect bank prediction (+29%) and
+// free register communication (+27%) on the decentralized machine; plus the
+// measured average inter-cluster communication latency (4.1 cycles) and the
+// average number of disabled clusters under the exploration scheme (8.3).
+func Ablations(o Options) *Table {
+	t := &Table{
+		ID:      "ablate",
+		Title:   "Idealized-communication ablations (paper §4 and §5 in-text)",
+		Columns: []string{"geomean-IPC", "vs-base", "paper"},
+	}
+
+	type variant struct {
+		name   string
+		cache  pipeline.CacheModel
+		mutate func(*pipeline.Config)
+		paper  string
+	}
+	variants := []variant{
+		{"central-base", pipeline.CentralizedCache, func(c *pipeline.Config) {}, "-"},
+		{"central-free-ldst-comm", pipeline.CentralizedCache, func(c *pipeline.Config) { c.FreeLoadComm = true }, "+31%"},
+		{"central-free-reg-comm", pipeline.CentralizedCache, func(c *pipeline.Config) { c.FreeRegComm = true }, "+11%"},
+		{"dist-base", pipeline.DecentralizedCache, func(c *pipeline.Config) {}, "-"},
+		{"dist-perfect-banks", pipeline.DecentralizedCache, func(c *pipeline.Config) { c.PerfectBankPred = true }, "+29%"},
+		{"dist-free-reg-comm", pipeline.DecentralizedCache, func(c *pipeline.Config) { c.FreeRegComm = true }, "+27%"},
+	}
+	var centralBase, distBase float64
+	for _, v := range variants {
+		var ipcs []float64
+		for _, b := range o.benchmarks() {
+			cfg := pipeline.DefaultConfig()
+			cfg.Cache = v.cache
+			v.mutate(&cfg)
+			r := run(b, o.seed(), cfg, nil, o.Window(b))
+			ipcs = append(ipcs, r.IPC())
+		}
+		gm := geomean(ipcs)
+		base := centralBase
+		if v.cache == pipeline.DecentralizedCache {
+			base = distBase
+		}
+		vs := "-"
+		switch v.name {
+		case "central-base":
+			centralBase = gm
+		case "dist-base":
+			distBase = gm
+		default:
+			vs = fmt.Sprintf("%+.1f%%", 100*(gm/base-1))
+		}
+		t.Rows = append(t.Rows, Row{Name: v.name, Cells: []Cell{
+			Num(gm, 2), Str(vs), Str(v.paper),
+		}})
+	}
+
+	// Communication latency and disabled-cluster statistics.
+	var regLat []float64
+	var disabled []float64
+	for _, b := range o.benchmarks() {
+		r := run(b, o.seed(), pipeline.DefaultConfig(), nil, o.Window(b))
+		if r.RegTransfers > 0 {
+			regLat = append(regLat, r.AvgRegCommLatency())
+		}
+		re := run(b, o.seed(), pipeline.DefaultConfig(), core.NewExplore(core.ExploreConfig{}), o.Window(b))
+		disabled = append(disabled, 16-re.AvgActiveClusters())
+	}
+	t.Notes = append(t.Notes, fmt.Sprintf(
+		"avg inter-cluster register communication latency at 16 clusters: %.1f cycles (paper: 4.1)",
+		mean(regLat)))
+	t.Notes = append(t.Notes, fmt.Sprintf(
+		"avg clusters disabled by the exploration scheme: %.1f of 16 (paper: 8.3)",
+		mean(disabled)))
+	return t
+}
+
+func mean(vs []float64) float64 {
+	if len(vs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, v := range vs {
+		s += v
+	}
+	return s / float64(len(vs))
+}

@@ -1,0 +1,48 @@
+package interconnect
+
+import "testing"
+
+// FuzzCalendarReserve checks the calendar's core invariants under arbitrary
+// reservation sequences: the returned slot is never before the request, and
+// no two reservations within a window-sized span collide.
+func FuzzCalendarReserve(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 250, 0, 7})
+	f.Add([]byte{0, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, reqs []byte) {
+		if len(reqs) > 256 {
+			reqs = reqs[:256]
+		}
+		cal := NewCalendar()
+		granted := make(map[uint64]bool)
+		base := uint64(1)
+		for _, r := range reqs {
+			want := base + uint64(r)
+			got := cal.Reserve(want)
+			if got < want {
+				t.Fatalf("Reserve(%d) = %d in the past", want, got)
+			}
+			if granted[got] {
+				t.Fatalf("slot %d double-booked", got)
+			}
+			granted[got] = true
+		}
+	})
+}
+
+// FuzzRingSend checks ring arrival invariants for arbitrary
+// (ready, src, dst) sequences.
+func FuzzRingSend(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4, 5})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := NewRing(16, 1)
+		for i := 0; i+2 < len(data) && i < 300; i += 3 {
+			ready := uint64(data[i])
+			a := int(data[i+1]) % 16
+			b := int(data[i+2]) % 16
+			arr := r.Send(ready, a, b)
+			if min := ready + uint64(r.Hops(a, b)); arr < min {
+				t.Fatalf("Send(%d,%d,%d) arrived %d before minimum %d", ready, a, b, arr, min)
+			}
+		}
+	})
+}

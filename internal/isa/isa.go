@@ -1,0 +1,153 @@
+// Package isa defines the abstract instruction set consumed by the timing
+// model.
+//
+// The simulator is trace-driven: it never interprets data values. An
+// instruction therefore carries only the information the timing model needs —
+// its operation class (which selects a functional unit and an execution
+// latency), the dynamic distances to its producer instructions (which encode
+// the data-dependence graph without a register renamer), its effective
+// address if it touches memory, and its actual outcome/target if it is a
+// control transfer. This mirrors what Simplescalar's timing core extracts
+// from an Alpha AXP instruction after functional simulation.
+package isa
+
+import "fmt"
+
+// Class identifies the operation class of an instruction. The class selects
+// the functional-unit type and the execution latency.
+type Class uint8
+
+// Operation classes. Integer and floating-point classes issue to different
+// halves of a cluster (each cluster is decomposed into an integer and a
+// floating-point sub-cluster, per the paper's §3.1).
+const (
+	// IntALU is a single-cycle integer operation.
+	IntALU Class = iota
+	// IntMult is a pipelined integer multiply.
+	IntMult
+	// IntDiv is a long-latency integer divide.
+	IntDiv
+	// FPALU is a pipelined floating-point add/compare/convert.
+	FPALU
+	// FPMult is a pipelined floating-point multiply.
+	FPMult
+	// FPDiv is a long-latency floating-point divide.
+	FPDiv
+	// Load reads one word from memory. Address generation uses the
+	// integer ALU; the memory access itself is timed by the cache model.
+	Load
+	// Store writes one word to memory at commit.
+	Store
+	// Branch is a conditional branch, executed on the integer ALU.
+	Branch
+	// Call is a subroutine call (treated as an always-taken branch; it is
+	// a reconfiguration trigger for the fine-grained call/return scheme).
+	Call
+	// Return is a subroutine return (always-taken indirect branch).
+	Return
+
+	// NumClasses is the number of operation classes.
+	NumClasses
+)
+
+var classNames = [NumClasses]string{
+	"IntALU", "IntMult", "IntDiv", "FPALU", "FPMult", "FPDiv",
+	"Load", "Store", "Branch", "Call", "Return",
+}
+
+// String returns the mnemonic name of the class.
+func (c Class) String() string {
+	if int(c) < len(classNames) {
+		return classNames[c]
+	}
+	return fmt.Sprintf("Class(%d)", uint8(c))
+}
+
+// IsFP reports whether the class executes in the floating-point sub-cluster.
+func (c Class) IsFP() bool { return c == FPALU || c == FPMult || c == FPDiv }
+
+// IsMem reports whether the class accesses data memory.
+func (c Class) IsMem() bool { return c == Load || c == Store }
+
+// IsCtrl reports whether the class is a control transfer.
+func (c Class) IsCtrl() bool { return c == Branch || c == Call || c == Return }
+
+// execLatency holds per-class execution latencies in cycles. Loads and
+// stores list only address generation; the memory system adds the rest.
+// Values follow the Alpha 21264 functional-unit latencies the paper's
+// Simplescalar configuration models.
+var execLatency = [NumClasses]uint32{
+	IntALU:  1,
+	IntMult: 3,
+	IntDiv:  12,
+	FPALU:   2,
+	FPMult:  4,
+	FPDiv:   12,
+	Load:    1, // address generation
+	Store:   1, // address generation
+	Branch:  1,
+	Call:    1,
+	Return:  1,
+}
+
+// Latency returns the execution latency in cycles for the class (for memory
+// classes, the address-generation latency only).
+func (c Class) Latency() uint32 { return execLatency[c] }
+
+// Pipelined reports whether a functional unit executing this class can
+// accept a new operation every cycle. Divides are unpipelined.
+func (c Class) Pipelined() bool { return c != IntDiv && c != FPDiv }
+
+// Instruction is one dynamic instruction on the committed path.
+//
+// Producer dependences are expressed as dynamic distances: SrcDist1 == k
+// means the first source operand is produced by the instruction k positions
+// earlier in program order (0 means "no register source" / value long since
+// architected). Distances make renaming implicit: there are no WAW or WAR
+// hazards, exactly as in a machine with sufficient rename registers.
+type Instruction struct {
+	// PC is the instruction's address. Static instructions (loop bodies)
+	// reuse PCs, which is what lets branch, bank and reconfiguration
+	// predictors learn.
+	PC uint64
+
+	// Class is the operation class.
+	Class Class
+
+	// SrcDist1 and SrcDist2 are dynamic producer distances; 0 means the
+	// operand is not produced by a recent in-flight instruction.
+	SrcDist1 uint32
+	SrcDist2 uint32
+
+	// HasDest reports whether the instruction writes a register result
+	// (and therefore consumes a physical register in its cluster from
+	// dispatch to commit).
+	HasDest bool
+
+	// Addr is the effective byte address for Load/Store classes.
+	Addr uint64
+
+	// Taken is the actual outcome for control-transfer classes.
+	Taken bool
+
+	// Target is the actual target address for taken control transfers.
+	Target uint64
+
+	// EndsBlock reports whether this instruction terminates a basic block
+	// (every control transfer does; a block may also end by falling into
+	// the next block's label). The front-end uses block boundaries to
+	// limit fetch to two basic blocks per cycle.
+	EndsBlock bool
+}
+
+// String renders a compact human-readable form for debugging.
+func (in Instruction) String() string {
+	switch {
+	case in.Class.IsMem():
+		return fmt.Sprintf("%#x %s addr=%#x d1=%d d2=%d", in.PC, in.Class, in.Addr, in.SrcDist1, in.SrcDist2)
+	case in.Class.IsCtrl():
+		return fmt.Sprintf("%#x %s taken=%t target=%#x", in.PC, in.Class, in.Taken, in.Target)
+	default:
+		return fmt.Sprintf("%#x %s d1=%d d2=%d", in.PC, in.Class, in.SrcDist1, in.SrcDist2)
+	}
+}

@@ -1,0 +1,108 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestClassPredicatesDisjoint(t *testing.T) {
+	for c := Class(0); c < NumClasses; c++ {
+		n := 0
+		if c.IsFP() {
+			n++
+		}
+		if c.IsMem() {
+			n++
+		}
+		if c.IsCtrl() {
+			n++
+		}
+		if n > 1 {
+			t.Errorf("class %s matches %d predicates", c, n)
+		}
+	}
+}
+
+func TestClassPredicateMembership(t *testing.T) {
+	cases := []struct {
+		c             Class
+		fp, mem, ctrl bool
+	}{
+		{IntALU, false, false, false},
+		{IntMult, false, false, false},
+		{IntDiv, false, false, false},
+		{FPALU, true, false, false},
+		{FPMult, true, false, false},
+		{FPDiv, true, false, false},
+		{Load, false, true, false},
+		{Store, false, true, false},
+		{Branch, false, false, true},
+		{Call, false, false, true},
+		{Return, false, false, true},
+	}
+	for _, tc := range cases {
+		if tc.c.IsFP() != tc.fp || tc.c.IsMem() != tc.mem || tc.c.IsCtrl() != tc.ctrl {
+			t.Errorf("%s: predicates (fp=%t mem=%t ctrl=%t) want (%t %t %t)",
+				tc.c, tc.c.IsFP(), tc.c.IsMem(), tc.c.IsCtrl(), tc.fp, tc.mem, tc.ctrl)
+		}
+	}
+}
+
+func TestLatenciesPositive(t *testing.T) {
+	for c := Class(0); c < NumClasses; c++ {
+		if c.Latency() == 0 {
+			t.Errorf("class %s has zero latency", c)
+		}
+	}
+}
+
+func TestDividesUnpipelined(t *testing.T) {
+	for c := Class(0); c < NumClasses; c++ {
+		want := c != IntDiv && c != FPDiv
+		if c.Pipelined() != want {
+			t.Errorf("%s Pipelined() = %t, want %t", c, c.Pipelined(), want)
+		}
+	}
+}
+
+func TestClassString(t *testing.T) {
+	if IntALU.String() != "IntALU" || FPDiv.String() != "FPDiv" {
+		t.Fatal("class names wrong")
+	}
+	if got := Class(200).String(); !strings.Contains(got, "200") {
+		t.Fatalf("out-of-range class string %q", got)
+	}
+}
+
+func TestInstructionString(t *testing.T) {
+	mem := Instruction{PC: 0x40, Class: Load, Addr: 0x1000, SrcDist1: 3}
+	if s := mem.String(); !strings.Contains(s, "Load") || !strings.Contains(s, "0x1000") {
+		t.Errorf("mem string %q", s)
+	}
+	br := Instruction{PC: 0x44, Class: Branch, Taken: true, Target: 0x80}
+	if s := br.String(); !strings.Contains(s, "Branch") || !strings.Contains(s, "true") {
+		t.Errorf("branch string %q", s)
+	}
+	alu := Instruction{PC: 0x48, Class: IntALU, SrcDist1: 1, SrcDist2: 2}
+	if s := alu.String(); !strings.Contains(s, "IntALU") {
+		t.Errorf("alu string %q", s)
+	}
+}
+
+// Property: String never panics for arbitrary instructions.
+func TestInstructionStringTotal(t *testing.T) {
+	f := func(pc uint64, class uint8, d1, d2 uint32, addr uint64, taken bool) bool {
+		in := Instruction{
+			PC:       pc,
+			Class:    Class(class % uint8(NumClasses)),
+			SrcDist1: d1, SrcDist2: d2,
+			Addr:  addr,
+			Taken: taken,
+		}
+		return in.String() != ""
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,117 @@
+// Package mem models the data-memory hierarchy of the simulated processor:
+// a word-interleaved L1 (centralized, Table 2 left column, or decentralized
+// with one bank per cluster, Table 2 right column), a unified 2MB 8-way L2
+// with a 25-cycle access time co-located with cluster 0, and a 160-cycle
+// main memory, with per-bank port contention, miss merging, writeback
+// counting, and the dirty-flush operation that decentralized reconfiguration
+// requires.
+package mem
+
+// array is a set-associative tag array with true-LRU replacement. It tracks
+// only tags and dirty bits; the simulator never stores data values.
+type array struct {
+	sets      int
+	ways      int
+	lineShift uint
+	valid     []bool
+	dirty     []bool
+	tags      []uint64
+	age       []uint32 // per-line last-use stamp
+	clock     uint32
+}
+
+// newArray builds an array with the given geometry. sizeBytes and lineBytes
+// must be powers of two with sizeBytes >= ways*lineBytes.
+func newArray(sizeBytes, lineBytes, ways int) *array {
+	sets := sizeBytes / lineBytes / ways
+	if sets < 1 {
+		sets = 1
+	}
+	shift := uint(0)
+	for 1<<shift < lineBytes {
+		shift++
+	}
+	n := sets * ways
+	return &array{
+		sets:      sets,
+		ways:      ways,
+		lineShift: shift,
+		valid:     make([]bool, n),
+		dirty:     make([]bool, n),
+		tags:      make([]uint64, n),
+		age:       make([]uint32, n),
+	}
+}
+
+// lookup probes the array for addr without modifying state.
+func (a *array) lookup(addr uint64) bool {
+	line := addr >> a.lineShift
+	set := int(line % uint64(a.sets))
+	tag := line / uint64(a.sets)
+	base := set * a.ways
+	for w := 0; w < a.ways; w++ {
+		if a.valid[base+w] && a.tags[base+w] == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// access touches addr, allocating on miss. It returns whether the access
+// hit, and whether the allocation evicted a dirty line (a writeback).
+func (a *array) access(addr uint64, write bool) (hit, writeback bool) {
+	line := addr >> a.lineShift
+	set := int(line % uint64(a.sets))
+	tag := line / uint64(a.sets)
+	base := set * a.ways
+	a.clock++
+	victim := base
+	for w := 0; w < a.ways; w++ {
+		i := base + w
+		if a.valid[i] && a.tags[i] == tag {
+			a.age[i] = a.clock
+			if write {
+				a.dirty[i] = true
+			}
+			return true, false
+		}
+		if !a.valid[victim] {
+			continue // keep first invalid way as victim
+		}
+		if !a.valid[i] || a.age[i] < a.age[victim] {
+			victim = i
+		}
+	}
+	writeback = a.valid[victim] && a.dirty[victim]
+	a.valid[victim] = true
+	a.dirty[victim] = write
+	a.tags[victim] = tag
+	a.age[victim] = a.clock
+	return false, writeback
+}
+
+// flush invalidates every line and returns the number of dirty lines that
+// needed writing back.
+func (a *array) flush() (writebacks uint64) {
+	for i := range a.valid {
+		if a.valid[i] && a.dirty[i] {
+			writebacks++
+		}
+		a.valid[i] = false
+		a.dirty[i] = false
+		a.age[i] = 0
+	}
+	a.clock = 0
+	return writebacks
+}
+
+// occupancy returns the number of valid lines (for tests).
+func (a *array) occupancy() int {
+	n := 0
+	for _, v := range a.valid {
+		if v {
+			n++
+		}
+	}
+	return n
+}

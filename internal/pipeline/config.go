@@ -1,0 +1,271 @@
+// Package pipeline implements the cycle-level timing model of the clustered
+// out-of-order processor the paper studies (its Simplescalar-3.0 substrate,
+// rebuilt from scratch).
+//
+// The machine follows §2 and Table 1: a centralized front-end (fetch across
+// up to two basic blocks, 64-entry fetch queue, combining branch predictor,
+// ≥12-cycle mispredict penalty) renames and *steers* up to 16 instructions
+// per cycle into clusters. Each cluster holds separate integer and
+// floating-point issue queues (15 entries each), physical registers (30
+// each), and one functional unit of each type; bypassing inside a cluster is
+// free, while values crossing clusters travel on the ring or grid
+// interconnect, cycle per hop, with link contention. Loads and stores pass
+// through a centralized LSQ next to the centralized cache, or through
+// per-cluster LSQs with dummy-slot store broadcasts for the decentralized
+// cache. A Controller (package core) observes committed instructions and
+// reconfigures the number of active clusters at run time.
+package pipeline
+
+import (
+	"fmt"
+
+	"clustersim/internal/bpred"
+	"clustersim/internal/mem"
+)
+
+// MaxClusters is the largest cluster count the model supports (the paper's
+// 16-cluster machine is the largest studied).
+const MaxClusters = 16
+
+// Topology selects the inter-cluster interconnect.
+type Topology uint8
+
+// Supported topologies.
+const (
+	// RingTopology is the paper's baseline: two unidirectional rings.
+	RingTopology Topology = iota
+	// GridTopology is the §6 sensitivity alternative: a 2-D mesh.
+	GridTopology
+)
+
+// CacheModel selects the L1 data cache organization.
+type CacheModel uint8
+
+// Supported cache models.
+const (
+	// CentralizedCache co-locates one word-interleaved L1 and the LSQ
+	// with cluster 0 (§2.1).
+	CentralizedCache CacheModel = iota
+	// DecentralizedCache gives every cluster an L1 bank and LSQ slice
+	// (§2.2).
+	DecentralizedCache
+)
+
+// SteeringPolicy selects the instruction steering heuristic (§2.1).
+type SteeringPolicy uint8
+
+// Supported steering policies.
+const (
+	// SteerOperandMajority steers to the cluster producing most source
+	// operands, with a criticality hint and a load-imbalance override —
+	// the paper's state-of-the-art heuristic.
+	SteerOperandMajority SteeringPolicy = iota
+	// SteerModN fills N instructions per cluster round-robin,
+	// minimizing load imbalance.
+	SteerModN
+	// SteerFirstFit fills a cluster before moving to its neighbour,
+	// minimizing communication.
+	SteerFirstFit
+)
+
+// Config describes one processor instance. DefaultConfig returns Table 1.
+type Config struct {
+	// Clusters is the total on-chip cluster count (2..MaxClusters, or 1
+	// for the monolithic model).
+	Clusters int
+	// ActiveClusters is the initial number of clusters instructions may
+	// be steered to; a Controller may change it at run time.
+	ActiveClusters int
+
+	// IQPerCluster is the per-cluster issue-queue size (integer and
+	// floating-point each).
+	IQPerCluster int
+	// RegsPerCluster is the per-cluster physical register count (integer
+	// and floating-point each).
+	RegsPerCluster int
+	// IntALU, IntMulDiv, FPALU, FPMulDiv are per-cluster functional-unit
+	// counts. The integer ALUs also perform address generation and
+	// branch resolution.
+	IntALU, IntMulDiv, FPALU, FPMulDiv int
+	// LSQPerCluster is the per-cluster load/store queue size (the
+	// centralized model uses Clusters*LSQPerCluster total).
+	LSQPerCluster int
+
+	FetchWidth    int
+	FetchQueue    int
+	DispatchWidth int
+	CommitWidth   int
+	ROB           int
+	// FrontLatency is the front-end pipeline depth in cycles; it is the
+	// floor of the branch-misprediction penalty (Table 1's "at least 12
+	// cycles").
+	FrontLatency int
+
+	// Topology and HopLatency describe the interconnect.
+	Topology   Topology
+	HopLatency int
+
+	// Cache selects the L1 organization; CacheConfig (optional)
+	// overrides the Table 2 defaults.
+	Cache       CacheModel
+	CacheConfig *mem.Config
+
+	// Steering selects the steering heuristic and its parameters.
+	Steering SteeringPolicy
+	// ImbalanceThreshold is the issue-queue occupancy spread beyond
+	// which the operand-majority heuristic steers to the least-loaded
+	// cluster (empirically tuned, per §2.1).
+	ImbalanceThreshold int
+	// ModN is the SteerModN group size.
+	ModN int
+
+	// DistantDepth is how far behind the ROB head (in instructions) an
+	// instruction must issue to count as "distant" ILP (§4.3 uses 120,
+	// the capacity of four clusters).
+	DistantDepth int
+
+	// CritTable selects the trained PC-indexed criticality table for
+	// steering instead of the default last-arriving heuristic (see
+	// crit.go).
+	CritTable bool
+
+	// ICacheEnabled models the Table 1 L1 instruction cache (32KB,
+	// 2-way): a fetch that crosses into an uncached line stalls the
+	// front end for the fill. TLBEnabled models the Table 1 data TLB
+	// (128 entries, 8KB pages): a memory access to an unmapped page
+	// pays a page walk. Both are on in DefaultConfig.
+	ICacheEnabled bool
+	TLBEnabled    bool
+
+	// Ablation switches for the paper's in-text idealizations.
+	// FreeRegComm makes register forwarding between clusters free.
+	FreeRegComm bool
+	// FreeLoadComm makes cluster↔cache communication free (centralized).
+	FreeLoadComm bool
+	// PerfectBankPred steers memory operations with oracle bank
+	// knowledge (decentralized).
+	PerfectBankPred bool
+
+	// BranchPred and BankPred override predictor table sizes.
+	BranchPred *bpred.Config
+	BankPred   *bpred.BankConfig
+}
+
+// DefaultConfig returns the paper's Table 1 16-cluster machine with the
+// centralized cache and ring interconnect.
+func DefaultConfig() Config {
+	return Config{
+		Clusters:           16,
+		ActiveClusters:     16,
+		IQPerCluster:       15,
+		RegsPerCluster:     30,
+		IntALU:             1,
+		IntMulDiv:          1,
+		FPALU:              1,
+		FPMulDiv:           1,
+		LSQPerCluster:      15,
+		FetchWidth:         8,
+		FetchQueue:         64,
+		DispatchWidth:      16,
+		CommitWidth:        16,
+		ROB:                480,
+		FrontLatency:       12,
+		Topology:           RingTopology,
+		HopLatency:         1,
+		Cache:              CentralizedCache,
+		Steering:           SteerOperandMajority,
+		ImbalanceThreshold: 8,
+		ModN:               4,
+		DistantDepth:       120,
+		ICacheEnabled:      true,
+		TLBEnabled:         true,
+	}
+}
+
+// MonolithicConfig returns the Table 3 baseline: a single cluster holding
+// the 16-cluster machine's aggregate resources with no communication costs,
+// used to characterize benchmarks ("a monolithic processor with as many
+// resources as the 16-cluster system").
+func MonolithicConfig() Config {
+	c := DefaultConfig()
+	c.Clusters = 1
+	c.ActiveClusters = 1
+	c.IQPerCluster = 15 * 16
+	c.RegsPerCluster = 30 * 16
+	c.IntALU, c.IntMulDiv, c.FPALU, c.FPMulDiv = 16, 16, 16, 16
+	c.LSQPerCluster = 15 * 16
+	c.FreeLoadComm = true
+	return c
+}
+
+// Validate checks the configuration for consistency.
+func (c Config) Validate() error {
+	if c.Clusters < 1 || c.Clusters > MaxClusters {
+		return fmt.Errorf("pipeline: Clusters %d out of range [1,%d]", c.Clusters, MaxClusters)
+	}
+	if c.ActiveClusters < 1 || c.ActiveClusters > c.Clusters {
+		return fmt.Errorf("pipeline: ActiveClusters %d out of range [1,%d]", c.ActiveClusters, c.Clusters)
+	}
+	for _, v := range []struct {
+		name string
+		val  int
+	}{
+		{"IQPerCluster", c.IQPerCluster},
+		{"RegsPerCluster", c.RegsPerCluster},
+		{"IntALU", c.IntALU},
+		{"IntMulDiv", c.IntMulDiv},
+		{"FPALU", c.FPALU},
+		{"FPMulDiv", c.FPMulDiv},
+		{"LSQPerCluster", c.LSQPerCluster},
+		{"FetchWidth", c.FetchWidth},
+		{"FetchQueue", c.FetchQueue},
+		{"DispatchWidth", c.DispatchWidth},
+		{"CommitWidth", c.CommitWidth},
+		{"ROB", c.ROB},
+		{"FrontLatency", c.FrontLatency},
+		{"HopLatency", c.HopLatency},
+		{"DistantDepth", c.DistantDepth},
+	} {
+		if v.val <= 0 {
+			return fmt.Errorf("pipeline: %s must be positive, got %d", v.name, v.val)
+		}
+	}
+	if c.Steering == SteerModN && c.ModN <= 0 {
+		return fmt.Errorf("pipeline: ModN must be positive for SteerModN")
+	}
+	if c.Steering == SteerOperandMajority && c.ImbalanceThreshold <= 0 {
+		return fmt.Errorf("pipeline: ImbalanceThreshold must be positive")
+	}
+	return nil
+}
+
+// CommitEvent describes one committed instruction to a Controller.
+type CommitEvent struct {
+	// Cycle is the commit cycle.
+	Cycle uint64
+	// Seq is the dynamic instruction number.
+	Seq uint64
+	// PC is the instruction address.
+	PC uint64
+	// IsBranch, IsCall, IsReturn, IsMem classify the instruction.
+	IsBranch, IsCall, IsReturn, IsMem bool
+	// Distant reports the §4.3 distant-ILP bit (issued ≥DistantDepth
+	// behind the ROB head).
+	Distant bool
+	// Mispredicted reports whether this control transfer redirected the
+	// front-end.
+	Mispredicted bool
+}
+
+// Controller decides how many clusters stay active. Implementations live in
+// package core; Static behaviour is a Controller that never changes.
+type Controller interface {
+	// Name identifies the policy in results.
+	Name() string
+	// Reset prepares the controller for a run on a machine with the
+	// given total cluster count.
+	Reset(totalClusters int)
+	// OnCommit observes one committed instruction and returns the
+	// desired number of active clusters, or 0 for no change.
+	OnCommit(ev CommitEvent) int
+}

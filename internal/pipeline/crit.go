@@ -1,0 +1,88 @@
+package pipeline
+
+// Criticality prediction for steering (§2.1: "our steering heuristic also
+// uses a criticality predictor [Fields et al., Tune et al.] to give a
+// higher priority to the cluster that produces the critical source
+// operand").
+//
+// Two predictors are available:
+//
+//   - the default last-arriving heuristic: an operand whose producer is
+//     still executing at steering time is treated as critical;
+//   - a trained table (Config.CritTable): a PC-indexed array of saturating
+//     counters, trained at issue time by observing which operand actually
+//     arrived last (Tune et al.'s "last-arriving operand" training rule,
+//     the practical approximation of Fields' token-passing model). The
+//     table persists across the producer's dynamic instances, so steering
+//     can prioritize a critical producer even after it has completed.
+
+// critBits sizes the criticality table (entries, power of two).
+const critTableSize = 4096
+
+type critPredictor struct {
+	table []uint8
+}
+
+func newCritPredictor() *critPredictor {
+	return &critPredictor{table: make([]uint8, critTableSize)}
+}
+
+func critIndex(pc uint64) int {
+	return int((pc>>2)^(pc>>14)) & (critTableSize - 1)
+}
+
+// critical reports whether the static instruction at pc is predicted to
+// produce critical values.
+func (c *critPredictor) critical(pc uint64) bool {
+	return c.table[critIndex(pc)] >= 2
+}
+
+// train records that the producer at lastPC supplied the last-arriving
+// operand of some consumer while the producer at otherPC (if any) did not.
+func (c *critPredictor) train(lastPC uint64, hasOther bool, otherPC uint64) {
+	i := critIndex(lastPC)
+	if c.table[i] < 3 {
+		c.table[i]++
+	}
+	if hasOther {
+		j := critIndex(otherPC)
+		if c.table[j] > 0 {
+			c.table[j]--
+		}
+	}
+}
+
+// trainCriticality observes an issuing instruction's operand arrivals and
+// trains the table with the last-arriving producer.
+func (p *Processor) trainCriticality(u *uop) {
+	if p.crit == nil {
+		return
+	}
+	d1, d2 := u.in.SrcDist1, u.in.SrcDist2
+	if d1 == 0 || d2 == 0 || u.src1At == u.src2At {
+		return // need two in-flight operands with distinct arrivals
+	}
+	lastDist, otherDist := d1, d2
+	if u.src2At > u.src1At {
+		lastDist, otherDist = d2, d1
+	}
+	lastSeq := u.seq - uint64(lastDist)
+	otherSeq := u.seq - uint64(otherDist)
+	if lastSeq < p.headSeq || otherSeq < p.headSeq {
+		return
+	}
+	p.crit.train(p.at(lastSeq).in.PC, true, p.at(otherSeq).in.PC)
+}
+
+// predictedCritical reports whether the in-flight producer dist back from
+// seq is predicted critical, under whichever predictor is configured.
+func (p *Processor) predictedCritical(seq uint64, dist uint32) bool {
+	if p.crit != nil {
+		pseq := seq - uint64(dist)
+		if pseq < p.headSeq || pseq >= p.tailSeq {
+			return false
+		}
+		return p.crit.critical(p.at(pseq).in.PC)
+	}
+	return p.producerUnfinished(seq, dist)
+}

@@ -1,0 +1,69 @@
+package pipeline
+
+import (
+	"testing"
+
+	"clustersim/internal/workload"
+)
+
+func TestCritTableTraining(t *testing.T) {
+	c := newCritPredictor()
+	const hot, cold = 0x100, 0x200
+	if c.critical(hot) {
+		t.Fatal("untrained PC predicted critical")
+	}
+	for i := 0; i < 4; i++ {
+		c.train(hot, true, cold)
+	}
+	if !c.critical(hot) {
+		t.Fatal("trained PC not predicted critical")
+	}
+	if c.critical(cold) {
+		t.Fatal("down-trained PC predicted critical")
+	}
+	// Saturation: further training keeps it in range.
+	for i := 0; i < 10; i++ {
+		c.train(hot, false, 0)
+	}
+	if c.table[critIndex(hot)] > 3 {
+		t.Fatal("counter overflow")
+	}
+}
+
+func TestCritTableRunsAndLearns(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.CritTable = true
+	p := MustNew(cfg, workload.MustNew("galgel", 1), nil)
+	r := p.Run(50_000)
+	if r.IPC() <= 0 {
+		t.Fatal("crit-table machine made no progress")
+	}
+	if p.crit == nil {
+		t.Fatal("crit predictor not constructed")
+	}
+	trained := 0
+	for _, v := range p.crit.table {
+		if v > 0 {
+			trained++
+		}
+	}
+	if trained == 0 {
+		t.Fatal("criticality table never trained")
+	}
+}
+
+func TestCritTableComparableToHeuristic(t *testing.T) {
+	// The trained table should be in the same performance ballpark as
+	// the last-arriving heuristic (it is an alternative implementation
+	// of the same §2.1 hint, not a different policy).
+	ipc := func(table bool) float64 {
+		cfg := DefaultConfig()
+		cfg.CritTable = table
+		p := MustNew(cfg, workload.MustNew("swim", 1), nil)
+		return p.Run(60_000).IPC()
+	}
+	h, tb := ipc(false), ipc(true)
+	if tb < h*0.9 || tb > h*1.1 {
+		t.Fatalf("crit table IPC %.3f far from heuristic %.3f", tb, h)
+	}
+}

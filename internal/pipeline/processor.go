@@ -1,0 +1,786 @@
+package pipeline
+
+import (
+	"fmt"
+
+	"clustersim/internal/bpred"
+	"clustersim/internal/interconnect"
+	"clustersim/internal/isa"
+	"clustersim/internal/mem"
+	"clustersim/internal/workload"
+)
+
+// Processor is one simulated clustered machine bound to a workload and an
+// optional reconfiguration Controller. It is not safe for concurrent use.
+type Processor struct {
+	cfg    Config
+	gen    workload.Generator
+	ctrl   Controller
+	net    interconnect.Network
+	memsys mem.System
+	bp     *bpred.Predictor
+	bankp  *bpred.BankPredictor
+
+	cycle     uint64
+	committed uint64
+
+	rob      []uop
+	robMask  uint64 // len(rob)-1; rob is sized to a power of two
+	headSeq  uint64 // oldest in-flight seq
+	tailSeq  uint64 // next seq to dispatch
+	fetchSeq uint64 // next seq to fetch
+
+	fq     []fqEntry
+	fqHead int
+	fqLen  int
+
+	clusters []clusterState
+	active   int
+	lsqTotal int // centralized LSQ occupancy
+
+	// Decentralized reconfiguration state.
+	draining      bool
+	pendingActive int
+	resumeAt      uint64
+
+	// Front-end redirect state.
+	fetchBlockedSeq uint64 // unknown when fetch is unblocked
+	fetchResumeAt   uint64
+
+	stores        []uint64 // seqs of in-flight stores, ascending
+	storesHead    int
+	pendingLoads  []uint64
+	dummyReleases []dummyRelease
+
+	modNCluster, modNCount int
+
+	crit *critPredictor
+
+	icache          *mem.ICache
+	dtlb            *mem.TLB
+	fetchStallUntil uint64
+	lastFetchLine   uint64
+
+	lastCommitCycle uint64
+	stats           Result
+}
+
+// New builds a Processor. A nil Controller leaves the active-cluster count
+// fixed at cfg.ActiveClusters.
+func New(cfg Config, gen workload.Generator, ctrl Controller) (*Processor, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if gen == nil {
+		return nil, fmt.Errorf("pipeline: nil workload generator")
+	}
+	p := &Processor{cfg: cfg, gen: gen, ctrl: ctrl}
+
+	switch cfg.Topology {
+	case GridTopology:
+		p.net = interconnect.NewGrid(cfg.Clusters, cfg.HopLatency)
+	default:
+		p.net = interconnect.NewRing(cfg.Clusters, cfg.HopLatency)
+	}
+
+	mcfg := mem.DefaultCentralConfig(cfg.Clusters)
+	if cfg.Cache == DecentralizedCache {
+		mcfg = mem.DefaultDistConfig(cfg.Clusters)
+	}
+	if cfg.CacheConfig != nil {
+		mcfg = *cfg.CacheConfig
+	}
+	msys, err := mem.New(mcfg, p.net)
+	if err != nil {
+		return nil, err
+	}
+	p.memsys = msys
+	if cfg.FreeLoadComm && cfg.Cache == CentralizedCache {
+		type freeable interface{ SetFreeLoadComm(bool) }
+		if f, ok := msys.(freeable); ok {
+			f.SetFreeLoadComm(true)
+		}
+	}
+
+	bcfg := bpred.DefaultConfig()
+	if cfg.BranchPred != nil {
+		bcfg = *cfg.BranchPred
+	}
+	p.bp, err = bpred.New(bcfg)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Cache == DecentralizedCache {
+		kcfg := bpred.DefaultBankConfig()
+		kcfg.MaxBanks = cfg.Clusters
+		if cfg.BankPred != nil {
+			kcfg = *cfg.BankPred
+		}
+		p.bankp, err = bpred.NewBank(kcfg)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// The ROB ring is sized to the next power of two so entry lookup is
+	// a mask instead of a division (the logical capacity stays cfg.ROB).
+	robLen := 1
+	for robLen < cfg.ROB {
+		robLen <<= 1
+	}
+	p.rob = make([]uop, robLen)
+	p.robMask = uint64(robLen - 1)
+	p.fq = make([]fqEntry, cfg.FetchQueue)
+	p.clusters = make([]clusterState, cfg.Clusters)
+	for i := range p.clusters {
+		p.clusters[i] = newClusterState(&cfg)
+	}
+	p.active = cfg.ActiveClusters
+	p.fetchBlockedSeq = unknown
+	if cfg.CritTable {
+		p.crit = newCritPredictor()
+	}
+	if cfg.ICacheEnabled {
+		p.icache = mem.NewICache(mem.DefaultICacheConfig())
+		p.lastFetchLine = ^uint64(0)
+	}
+	if cfg.TLBEnabled {
+		p.dtlb = mem.NewTLB(mem.DefaultTLBConfig())
+	}
+	if ctrl != nil {
+		ctrl.Reset(cfg.Clusters)
+	}
+	return p, nil
+}
+
+// MustNew is New but panics on error.
+func MustNew(cfg Config, gen workload.Generator, ctrl Controller) *Processor {
+	p, err := New(cfg, gen, ctrl)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Config returns the processor's configuration.
+func (p *Processor) Config() Config { return p.cfg }
+
+// ActiveClusters returns the current number of dispatch-enabled clusters.
+func (p *Processor) ActiveClusters() int { return p.active }
+
+// Cycle returns the current cycle number.
+func (p *Processor) Cycle() uint64 { return p.cycle }
+
+// Committed returns the number of committed instructions.
+func (p *Processor) Committed() uint64 { return p.committed }
+
+// at returns the ROB entry for an in-flight seq.
+func (p *Processor) at(seq uint64) *uop { return &p.rob[seq&p.robMask] }
+
+// Run simulates until n more instructions commit and returns cumulative
+// statistics. It may be called repeatedly to extend a run.
+func (p *Processor) Run(n uint64) Result {
+	target := p.committed + n
+	for p.committed < target {
+		p.step()
+	}
+	return p.Stats()
+}
+
+// RunCycles simulates exactly n more cycles (regardless of commits) and
+// returns cumulative statistics. Multi-threaded studies use this to advance
+// co-scheduled machines in lockstep time slices.
+func (p *Processor) RunCycles(n uint64) Result {
+	target := p.cycle + n
+	for p.cycle < target {
+		p.step()
+	}
+	return p.Stats()
+}
+
+// step advances the machine by one cycle.
+func (p *Processor) step() {
+	p.cycle++
+	p.commitStage()
+	p.reconfigStage()
+	p.issueStage()
+	p.memStage()
+	p.dispatchStage()
+	p.fetchStage()
+	p.stats.ActiveSum += uint64(p.active)
+	if p.cycle-p.lastCommitCycle > 500_000 {
+		panic(fmt.Sprintf("pipeline: no commit in 500K cycles at cycle %d (head=%d tail=%d fetch=%d blocked=%d draining=%t)",
+			p.cycle, p.headSeq, p.tailSeq, p.fetchSeq, p.fetchBlockedSeq, p.draining))
+	}
+}
+
+// Stats returns cumulative run statistics.
+func (p *Processor) Stats() Result {
+	r := p.stats
+	r.Benchmark = p.gen.Name()
+	if p.ctrl != nil {
+		r.Policy = p.ctrl.Name()
+	} else {
+		r.Policy = fmt.Sprintf("static-%d", p.cfg.ActiveClusters)
+	}
+	r.Cycles = p.cycle
+	r.Instructions = p.committed
+	r.Mem = p.memsys.Stats()
+	r.Net = p.net.Stats()
+	r.Branch = p.bp.Stats()
+	if p.bankp != nil {
+		r.Bank = p.bankp.Stats()
+	}
+	if p.icache != nil {
+		r.ICacheMisses = p.icache.Misses()
+	}
+	if p.dtlb != nil {
+		r.TLBMisses = p.dtlb.Misses()
+	}
+	return r
+}
+
+// ---------------------------------------------------------------- commit --
+
+func (p *Processor) commitStage() {
+	now := p.cycle
+	for n := 0; n < p.cfg.CommitWidth && p.headSeq < p.tailSeq; n++ {
+		u := p.at(p.headSeq)
+		if !u.issued {
+			return
+		}
+		switch {
+		case u.isLoad():
+			if !u.memDone || u.doneAt > now {
+				return
+			}
+		case u.isStore():
+			if u.agenDoneAt > now {
+				return
+			}
+			if p.opArrival(u, u.in.SrcDist2, &u.src2At) > now {
+				return
+			}
+			if p.cfg.Cache == DecentralizedCache && u.resolveGlobalAt > now {
+				return
+			}
+		default:
+			if u.doneAt > now {
+				return
+			}
+		}
+
+		// Retire.
+		cs := &p.clusters[u.cluster]
+		if u.in.HasDest {
+			if u.in.Class.IsFP() {
+				cs.fpRegs--
+			} else {
+				cs.intRegs--
+			}
+		}
+		if u.in.Class.IsMem() {
+			if p.cfg.Cache == CentralizedCache {
+				p.lsqTotal--
+			} else {
+				cs.lsq--
+			}
+			if u.isStore() {
+				at := now
+				if p.dtlb != nil {
+					at += p.dtlb.Translate(u.in.Addr)
+				}
+				p.memsys.StoreCommit(at, int(u.cluster), u.in.Addr)
+				p.popStore(u.seq)
+			}
+		}
+		if u.distant {
+			p.stats.DistantCommitted++
+		}
+		if u.mispredicted {
+			p.stats.Redirects++
+		}
+		cls := u.in.Class
+		ev := CommitEvent{
+			Cycle:        now,
+			Seq:          u.seq,
+			PC:           u.in.PC,
+			IsBranch:     cls == isa.Branch,
+			IsCall:       cls == isa.Call,
+			IsReturn:     cls == isa.Return,
+			IsMem:        cls.IsMem(),
+			Distant:      u.distant,
+			Mispredicted: u.mispredicted,
+		}
+		p.headSeq++
+		p.committed++
+		p.lastCommitCycle = now
+		if p.ctrl != nil {
+			if want := p.ctrl.OnCommit(ev); want > 0 {
+				p.requestActive(want)
+			}
+		}
+	}
+}
+
+// popStore removes seq from the store window (always the oldest store).
+func (p *Processor) popStore(seq uint64) {
+	if p.storesHead < len(p.stores) && p.stores[p.storesHead] == seq {
+		p.storesHead++
+		if p.storesHead > 4096 {
+			p.stores = append(p.stores[:0], p.stores[p.storesHead:]...)
+			p.storesHead = 0
+		}
+		return
+	}
+	// A store must retire in order; anything else is a bookkeeping bug.
+	panic("pipeline: store retired out of order")
+}
+
+// ------------------------------------------------------------- reconfig --
+
+// requestActive asks for want active clusters.
+func (p *Processor) requestActive(want int) {
+	if want < 1 {
+		want = 1
+	}
+	if want > p.cfg.Clusters {
+		want = p.cfg.Clusters
+	}
+	if p.cfg.Cache == CentralizedCache {
+		if want != p.active {
+			p.active = want
+			p.stats.Reconfigs++
+		}
+		return
+	}
+	// Decentralized: drain, flush, then switch (§5).
+	if p.draining {
+		p.pendingActive = want
+		return
+	}
+	if want != p.active {
+		p.draining = true
+		p.pendingActive = want
+	}
+}
+
+func (p *Processor) reconfigStage() {
+	if !p.draining || p.headSeq != p.tailSeq {
+		return
+	}
+	done, _ := p.memsys.Flush(p.cycle)
+	p.memsys.SetActive(p.pendingActive)
+	p.active = p.pendingActive
+	p.resumeAt = done
+	p.draining = false
+	p.stats.Reconfigs++
+}
+
+// ---------------------------------------------------------------- issue --
+
+// opArrival returns the cycle the operand dist back from u is available in
+// u's cluster, or unknown if its producer has not issued. The result is
+// cached in *cache; inter-cluster transfers reserve network links once per
+// (producer, consumer-cluster) pair.
+func (p *Processor) opArrival(u *uop, dist uint32, cache *uint64) uint64 {
+	if *cache != unknown {
+		return *cache
+	}
+	if dist == 0 {
+		*cache = 0
+		return 0
+	}
+	pseq := u.seq - uint64(dist)
+	if uint64(dist) > u.seq || pseq < p.headSeq {
+		*cache = 0 // producer retired; value is architected
+		return 0
+	}
+	prod := p.at(pseq)
+	if !prod.issued {
+		return unknown
+	}
+	if prod.isLoad() && !prod.memDone {
+		return unknown
+	}
+	t := prod.doneAt
+	c := int(u.cluster)
+	if c != int(prod.cluster) && !p.cfg.FreeRegComm {
+		if prod.fwd[c] == 0 {
+			arr := p.net.Send(t, int(prod.cluster), c)
+			prod.fwd[c] = arr
+			p.stats.RegTransfers++
+			p.stats.RegLatencySum += arr - t
+		}
+		t = prod.fwd[c]
+	}
+	*cache = t
+	return t
+}
+
+func (p *Processor) issueStage() {
+	now := p.cycle
+	for ci := range p.clusters {
+		cs := &p.clusters[ci]
+		p.issueQueue(cs, &cs.iqInt, now)
+		p.issueQueue(cs, &cs.iqFP, now)
+	}
+}
+
+// issueQueue scans one issue queue oldest-first, issuing every ready
+// instruction whose functional unit is free, and compacts the queue.
+func (p *Processor) issueQueue(cs *clusterState, q *[]uint64, now uint64) {
+	s := *q
+	out := s[:0]
+	for _, seq := range s {
+		u := p.at(seq)
+		if !p.tryIssue(cs, u, now) {
+			out = append(out, seq)
+		}
+	}
+	*q = out
+}
+
+func (p *Processor) tryIssue(cs *clusterState, u *uop, now uint64) bool {
+	if u.readyAt > now {
+		return false
+	}
+	if u.dispatchReady > now {
+		u.readyAt = u.dispatchReady
+		return false
+	}
+	if a := p.opArrival(u, u.in.SrcDist1, &u.src1At); a > now {
+		if a != unknown {
+			u.readyAt = a
+		}
+		return false
+	}
+	// Stores issue address generation without waiting for data; all other
+	// two-operand instructions need both.
+	if !u.isStore() {
+		if a := p.opArrival(u, u.in.SrcDist2, &u.src2At); a > now {
+			if a != unknown {
+				u.readyAt = a
+			}
+			return false
+		}
+	}
+	cls := u.in.Class
+	lat := uint64(cls.Latency())
+	busyUntil := now + 1
+	if !cls.Pipelined() {
+		busyUntil = now + lat
+	}
+	if !cs.takeFU(fuFor(cls), now, busyUntil) {
+		return false
+	}
+
+	u.issued = true
+	u.issueAt = now
+	p.trainCriticality(u)
+	if u.seq-p.headSeq >= uint64(p.cfg.DistantDepth) {
+		u.distant = true
+		p.stats.DistantIssued++
+	}
+
+	switch {
+	case u.isLoad():
+		u.agenDoneAt = now + lat
+		p.pendingLoads = append(p.pendingLoads, u.seq)
+	case u.isStore():
+		u.agenDoneAt = now + lat
+		u.doneAt = u.agenDoneAt
+		p.storeResolved(u)
+	default:
+		u.doneAt = now + lat
+		if u.in.Class.IsCtrl() && u.seq == p.fetchBlockedSeq {
+			// Redirect: the correct target travels back to the
+			// front-end next to cluster 0.
+			hops := uint64(p.net.Hops(int(u.cluster), 0)) * uint64(p.cfg.HopLatency)
+			p.fetchResumeAt = u.doneAt + hops + 1
+		}
+	}
+	if u.in.Class.IsMem() {
+		p.trainBank(u)
+	}
+	return true
+}
+
+// storeResolved handles a store's address becoming known: under the
+// decentralized LSQ the address is broadcast to dissolve the dummy slots in
+// the other active clusters (§5).
+func (p *Processor) storeResolved(u *uop) {
+	if p.cfg.Cache == CentralizedCache {
+		u.resolveGlobalAt = u.agenDoneAt
+		return
+	}
+	active := int(u.activeAtDispatch)
+	u.resolveGlobalAt = p.net.Broadcast(u.agenDoneAt, int(u.cluster), active)
+	p.stats.StoreBroadcasts++
+	for c := 0; c < active; c++ {
+		if c == int(u.cluster) {
+			continue
+		}
+		p.dummyReleases = append(p.dummyReleases, dummyRelease{at: u.resolveGlobalAt, cluster: int32(c)})
+	}
+}
+
+// trainBank updates the bank predictor with the memory operation's actual
+// bank and records bank mispredictions.
+func (p *Processor) trainBank(u *uop) {
+	if p.bankp == nil {
+		return
+	}
+	actual := p.memsys.Bank(u.in.Addr)
+	p.bankp.Update(u.in.PC, actual, int(u.activeAtDispatch))
+	if !p.cfg.PerfectBankPred {
+		if p.memsys.HomeCluster(u.in.Addr) != int(u.predictedHome) {
+			u.bankMispred = true
+			p.stats.BankMispredicts++
+		}
+	}
+}
+
+// ------------------------------------------------------------------ mem --
+
+func (p *Processor) memStage() {
+	now := p.cycle
+	// Dissolve store dummy slots whose broadcast has arrived.
+	if len(p.dummyReleases) > 0 {
+		kept := p.dummyReleases[:0]
+		for _, d := range p.dummyReleases {
+			if d.at <= now {
+				p.clusters[d.cluster].lsq--
+			} else {
+				kept = append(kept, d)
+			}
+		}
+		p.dummyReleases = kept
+	}
+	// Try to start memory access for loads whose address is known.
+	if len(p.pendingLoads) > 0 {
+		kept := p.pendingLoads[:0]
+		for _, seq := range p.pendingLoads {
+			u := p.at(seq)
+			if u.agenDoneAt > now || !p.tryStartLoad(u, now) {
+				kept = append(kept, seq)
+			}
+		}
+		p.pendingLoads = kept
+	}
+}
+
+// tryStartLoad checks memory ordering for a load and, when clear, either
+// forwards from an older matching store or accesses the cache. It returns
+// whether the load's completion is now scheduled.
+func (p *Processor) tryStartLoad(u *uop, now uint64) bool {
+	// Fast path: if a previous walk blocked on a specific store, nothing
+	// can have changed until that store resolves.
+	if u.waitStore != 0 {
+		wseq := u.waitStore - 1
+		if wseq >= p.headSeq {
+			s := p.at(wseq)
+			if s.isStore() && s.seq == wseq {
+				resolveAt := s.agenDoneAt
+				if p.cfg.Cache == DecentralizedCache && s.cluster != u.cluster {
+					resolveAt = s.resolveGlobalAt
+				}
+				if !s.issued || resolveAt > now {
+					return false
+				}
+			}
+		}
+		u.waitStore = 0
+	}
+	// Walk older in-flight stores youngest-first. An unresolved older
+	// store (or, decentralized, an undissolved dummy) blocks the load;
+	// a resolved matching store forwards.
+	for i := len(p.stores) - 1; i >= p.storesHead; i-- {
+		sseq := p.stores[i]
+		if sseq >= u.seq {
+			continue
+		}
+		s := p.at(sseq)
+		resolveAt := s.agenDoneAt
+		if p.cfg.Cache == DecentralizedCache && s.cluster != u.cluster {
+			resolveAt = s.resolveGlobalAt
+		}
+		if !s.issued || resolveAt > now {
+			u.waitStore = sseq + 1
+			return false
+		}
+		if s.in.Addr>>3 == u.in.Addr>>3 {
+			// Store-to-load forwarding: data moves from the
+			// store's LSQ to the load's cluster.
+			dataAt := p.opArrival(s, s.in.SrcDist2, &s.src2At)
+			if dataAt == unknown || dataAt > now {
+				return false
+			}
+			t := now + 1
+			if s.cluster != u.cluster && !p.cfg.FreeRegComm {
+				t = p.net.Send(t, int(s.cluster), int(u.cluster))
+			}
+			u.doneAt = t
+			u.memDone = true
+			u.memStarted = true
+			p.stats.LoadForwards++
+			return true
+		}
+	}
+	start := now
+	if u.agenDoneAt > start {
+		start = u.agenDoneAt
+	}
+	if p.dtlb != nil {
+		start += p.dtlb.Translate(u.in.Addr)
+	}
+	done, _ := p.memsys.Load(start, int(u.cluster), u.in.Addr)
+	u.doneAt = done
+	u.memDone = true
+	u.memStarted = true
+	return true
+}
+
+// -------------------------------------------------------------- dispatch --
+
+func (p *Processor) dispatchStage() {
+	now := p.cycle
+	if p.draining || now < p.resumeAt {
+		return
+	}
+	for n := 0; n < p.cfg.DispatchWidth && p.fqLen > 0; n++ {
+		e := &p.fq[p.fqHead]
+		if e.earliest > now {
+			return
+		}
+		if p.tailSeq-p.headSeq >= uint64(p.cfg.ROB) {
+			return
+		}
+		in := &e.in
+		// Decentralized stores need a dummy slot in every active LSQ.
+		if in.Class == isa.Store && p.cfg.Cache == DecentralizedCache {
+			for c := 0; c < p.active; c++ {
+				if p.clusters[c].lsq >= p.cfg.LSQPerCluster {
+					return
+				}
+			}
+		}
+		cl := p.steer(in, e.seq)
+		if cl < 0 {
+			return
+		}
+
+		u := p.at(e.seq)
+		*u = uop{
+			in:               *in,
+			seq:              e.seq,
+			cluster:          int32(cl),
+			mispredicted:     e.mispred,
+			activeAtDispatch: int32(p.active),
+			src1At:           unknown,
+			src2At:           unknown,
+		}
+		hops := uint64(p.net.Hops(0, cl)) * uint64(p.cfg.HopLatency)
+		u.dispatchReady = now + 1 + hops
+
+		cs := &p.clusters[cl]
+		q := cs.iqFor(in.Class)
+		*q = append(*q, e.seq)
+		if in.HasDest {
+			if in.Class.IsFP() {
+				cs.fpRegs++
+			} else {
+				cs.intRegs++
+			}
+		}
+		if in.Class.IsMem() {
+			if p.cfg.Cache == CentralizedCache {
+				p.lsqTotal++
+			} else if in.Class == isa.Store {
+				for c := 0; c < p.active; c++ {
+					p.clusters[c].lsq++
+				}
+			} else {
+				cs.lsq++
+			}
+			if in.Class == isa.Store {
+				p.stores = append(p.stores, e.seq)
+			}
+			if p.cfg.Cache == DecentralizedCache {
+				u.predictedHome = int32(p.predictHome(in))
+			}
+		}
+
+		p.tailSeq = e.seq + 1
+		p.fqHead = (p.fqHead + 1) % len(p.fq)
+		p.fqLen--
+		p.stats.Dispatched++
+	}
+}
+
+// ----------------------------------------------------------------- fetch --
+
+func (p *Processor) fetchStage() {
+	now := p.cycle
+	if now < p.fetchStallUntil {
+		return
+	}
+	if p.fetchBlockedSeq != unknown {
+		if p.fetchResumeAt == 0 || now < p.fetchResumeAt {
+			return
+		}
+		p.fetchBlockedSeq = unknown
+		p.fetchResumeAt = 0
+	}
+	blocks := 0
+	for n := 0; n < p.cfg.FetchWidth && p.fqLen < len(p.fq); n++ {
+		var in isa.Instruction
+		p.gen.Next(&in)
+		seq := p.fetchSeq
+		p.fetchSeq++
+
+		// Instruction-cache probe on every line crossing; a miss stalls
+		// the front end while the line fills (the fetched instruction
+		// still enters the queue, delayed by the fill).
+		extra := uint64(0)
+		if p.icache != nil {
+			if line := in.PC >> p.icache.LineShift(); line != p.lastFetchLine {
+				p.lastFetchLine = line
+				extra = p.icache.Fetch(in.PC)
+				if extra > 0 {
+					p.fetchStallUntil = now + extra
+				}
+			}
+		}
+
+		mispred := false
+		switch in.Class {
+		case isa.Branch:
+			mispred = p.bp.PredictBranch(in.PC, in.Taken, in.Target)
+		case isa.Call:
+			mispred = p.bp.PredictCall(in.PC, in.Target)
+		case isa.Return:
+			mispred = p.bp.PredictReturn(in.Target)
+		}
+
+		slot := (p.fqHead + p.fqLen) % len(p.fq)
+		p.fq[slot] = fqEntry{in: in, seq: seq, earliest: now + extra + uint64(p.cfg.FrontLatency), mispred: mispred}
+		p.fqLen++
+		p.stats.Fetched++
+
+		if mispred {
+			p.fetchBlockedSeq = seq
+			p.fetchResumeAt = 0
+			return
+		}
+		if extra > 0 {
+			return // stalled on the instruction-cache fill
+		}
+		if in.EndsBlock {
+			blocks++
+			if blocks == 2 {
+				return
+			}
+		}
+	}
+}

@@ -1,0 +1,100 @@
+package pipeline
+
+import (
+	"fmt"
+
+	"clustersim/internal/bpred"
+	"clustersim/internal/interconnect"
+	"clustersim/internal/mem"
+)
+
+// Result holds cumulative statistics for a run.
+type Result struct {
+	// Benchmark and Policy identify the run.
+	Benchmark string
+	Policy    string
+
+	// Cycles and Instructions are the simulated totals.
+	Cycles       uint64
+	Instructions uint64
+
+	// Fetched and Dispatched count front-end throughput.
+	Fetched    uint64
+	Dispatched uint64
+
+	// Redirects counts committed control transfers that redirected the
+	// front-end (branch mispredictions experienced).
+	Redirects uint64
+
+	// DistantIssued and DistantCommitted count instructions issued at
+	// least DistantDepth behind the ROB head (§4.3's distant-ILP metric).
+	DistantIssued    uint64
+	DistantCommitted uint64
+
+	// Reconfigs counts applied active-cluster changes; ActiveSum is the
+	// per-cycle sum of active clusters (for the §4.2 average).
+	Reconfigs uint64
+	ActiveSum uint64
+
+	// RegTransfers/RegLatencySum describe inter-cluster register
+	// forwarding (the paper quotes a 4.1-cycle average on the ring).
+	RegTransfers  uint64
+	RegLatencySum uint64
+
+	// StoreBroadcasts counts decentralized store-address broadcasts;
+	// BankMispredicts counts memory operations steered to the wrong
+	// bank's cluster; LoadForwards counts store-to-load forwards.
+	StoreBroadcasts uint64
+	BankMispredicts uint64
+	LoadForwards    uint64
+
+	// ICacheMisses and TLBMisses count front-end line fills and data
+	// page walks.
+	ICacheMisses uint64
+	TLBMisses    uint64
+
+	// Subsystem statistics.
+	Mem    mem.Stats
+	Net    interconnect.Stats
+	Branch bpred.Stats
+	Bank   bpred.Stats
+}
+
+// IPC returns committed instructions per cycle.
+func (r Result) IPC() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.Instructions) / float64(r.Cycles)
+}
+
+// AvgActiveClusters returns the mean number of active clusters per cycle.
+func (r Result) AvgActiveClusters() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.ActiveSum) / float64(r.Cycles)
+}
+
+// AvgRegCommLatency returns the mean inter-cluster register transfer
+// latency in cycles.
+func (r Result) AvgRegCommLatency() float64 {
+	if r.RegTransfers == 0 {
+		return 0
+	}
+	return float64(r.RegLatencySum) / float64(r.RegTransfers)
+}
+
+// MispredictInterval returns committed instructions per front-end redirect.
+func (r Result) MispredictInterval() float64 {
+	if r.Redirects == 0 {
+		return float64(r.Instructions)
+	}
+	return float64(r.Instructions) / float64(r.Redirects)
+}
+
+// String renders a one-line summary.
+func (r Result) String() string {
+	return fmt.Sprintf("%s/%s: IPC %.3f (%d instrs, %d cycles, %.1f avg clusters, %d reconfigs)",
+		r.Benchmark, r.Policy, r.IPC(), r.Instructions, r.Cycles, r.AvgActiveClusters(), r.Reconfigs)
+}

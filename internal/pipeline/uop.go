@@ -1,0 +1,161 @@
+package pipeline
+
+import "clustersim/internal/isa"
+
+// unknown is the sentinel for an operand arrival that cannot be computed
+// yet (its producer has not issued). Valid cycle numbers start at 1.
+const unknown = ^uint64(0)
+
+// uop is one in-flight dynamic instruction (a ROB entry).
+type uop struct {
+	in  isa.Instruction
+	seq uint64
+
+	cluster int32
+
+	issued       bool
+	memDone      bool
+	memStarted   bool
+	distant      bool
+	mispredicted bool
+	bankMispred  bool
+
+	// dispatchReady is the cycle the instruction sits in its cluster's
+	// issue queue (dispatch cycle plus the non-uniform dispatch hops).
+	dispatchReady uint64
+	// issueAt and doneAt are the issue cycle and the cycle the result is
+	// available for same-cluster consumers. For memory operations doneAt
+	// is valid only once memDone is set.
+	issueAt uint64
+	doneAt  uint64
+	// agenDoneAt is the cycle a memory operation's effective address is
+	// known (address generation complete).
+	agenDoneAt uint64
+	// resolveGlobalAt is, for stores under the decentralized LSQ, the
+	// cycle the address broadcast reaches every other cluster and the
+	// dummy slots dissolve.
+	resolveGlobalAt uint64
+
+	// predictedHome is the bank-predictor's steering hint for memory
+	// operations under the decentralized cache.
+	predictedHome int32
+	// activeAtDispatch records how many clusters were active when this
+	// instruction dispatched (store dummies span exactly that set).
+	activeAtDispatch int32
+
+	// src1At and src2At cache operand arrival cycles at this cluster;
+	// unknown until computable.
+	src1At, src2At uint64
+
+	// waitStore, when nonzero, is seq+1 of the unresolved older store
+	// that blocked this load's last ordering walk; the walk is skipped
+	// until that store resolves.
+	waitStore uint64
+
+	// readyAt is a wakeup hint: the earliest cycle at which re-checking
+	// issue readiness can possibly succeed (the max of the known-future
+	// necessary conditions at the last failed check).
+	readyAt uint64
+
+	// fwd caches the arrival cycle of this instruction's result at each
+	// consumer cluster (0 = not yet transferred), so one physical
+	// transfer serves all consumers in a cluster.
+	fwd [MaxClusters]uint64
+}
+
+// isStore and isLoad are convenience accessors.
+func (u *uop) isStore() bool { return u.in.Class == isa.Store }
+func (u *uop) isLoad() bool  { return u.in.Class == isa.Load }
+
+// fqEntry is a fetched instruction waiting to dispatch.
+type fqEntry struct {
+	in       isa.Instruction
+	seq      uint64
+	earliest uint64 // earliest dispatch cycle (front-end pipeline depth)
+	mispred  bool   // this control transfer redirected the front-end
+}
+
+// fuKind classifies functional units within a cluster.
+type fuKind uint8
+
+const (
+	fuIntALU fuKind = iota
+	fuIntMulDiv
+	fuFPALU
+	fuFPMulDiv
+	numFUKinds
+)
+
+// fuFor maps an operation class to the functional unit that executes it.
+// Loads, stores and control transfers use the integer ALU for address
+// generation / resolution.
+func fuFor(c isa.Class) fuKind {
+	switch c {
+	case isa.IntMult, isa.IntDiv:
+		return fuIntMulDiv
+	case isa.FPALU:
+		return fuFPALU
+	case isa.FPMult, isa.FPDiv:
+		return fuFPMulDiv
+	default:
+		return fuIntALU
+	}
+}
+
+// clusterState holds one cluster's queues, registers and functional units.
+type clusterState struct {
+	// iqInt and iqFP hold seqs of dispatched, unissued instructions in
+	// program order.
+	iqInt, iqFP []uint64
+	// intRegs and fpRegs count physical registers in use.
+	intRegs, fpRegs int
+	// lsq counts occupied LSQ slots (loads steered here, plus store
+	// dummies under the decentralized model).
+	lsq int
+	// fuFree[k] holds the next-free cycle of each unit of kind k.
+	fuFree [numFUKinds][]uint64
+}
+
+func newClusterState(cfg *Config) clusterState {
+	var cs clusterState
+	cs.iqInt = make([]uint64, 0, cfg.IQPerCluster)
+	cs.iqFP = make([]uint64, 0, cfg.IQPerCluster)
+	counts := [numFUKinds]int{cfg.IntALU, cfg.IntMulDiv, cfg.FPALU, cfg.FPMulDiv}
+	for k := range cs.fuFree {
+		cs.fuFree[k] = make([]uint64, counts[k])
+	}
+	return cs
+}
+
+// iqFor returns the issue queue (integer or floating point) for a class.
+func (cs *clusterState) iqFor(c isa.Class) *[]uint64 {
+	if c.IsFP() {
+		return &cs.iqFP
+	}
+	return &cs.iqInt
+}
+
+// occupancy returns the total issue-queue occupancy (the steering
+// heuristic's load metric).
+func (cs *clusterState) occupancy() int { return len(cs.iqInt) + len(cs.iqFP) }
+
+// takeFU reserves a unit of kind k at cycle now and returns whether one was
+// free. busyUntil is the cycle the unit next accepts work (now+1 for
+// pipelined classes, completion for divides).
+func (cs *clusterState) takeFU(k fuKind, now, busyUntil uint64) bool {
+	units := cs.fuFree[k]
+	for i := range units {
+		if units[i] <= now {
+			units[i] = busyUntil
+			return true
+		}
+	}
+	return false
+}
+
+// dummyRelease schedules the dissolution of a store's dummy LSQ slot in a
+// cluster at a known cycle (the store-address broadcast arrival).
+type dummyRelease struct {
+	at      uint64
+	cluster int32
+}

@@ -1,0 +1,156 @@
+package smt
+
+import (
+	"testing"
+
+	"clustersim/internal/pipeline"
+)
+
+func TestEqualPartition(t *testing.T) {
+	p := EqualPartition{}
+	got := p.Partition(make([]ThreadStats, 2), 16)
+	if got[0] != 8 || got[1] != 8 {
+		t.Fatalf("equal split %v", got)
+	}
+	got = p.Partition(make([]ThreadStats, 3), 2)
+	for _, v := range got {
+		if v < 1 {
+			t.Fatalf("allotment below 1: %v", got)
+		}
+	}
+}
+
+func TestDistantILPPartitionApportions(t *testing.T) {
+	p := DistantILPPartition{}
+	stats := []ThreadStats{
+		{DistantFrac: 0.9, IPC: 2.0}, // ILP-hungry
+		{DistantFrac: 0.1, IPC: 0.8}, // serial
+	}
+	got := p.Partition(stats, 16)
+	if got[0]+got[1] != 16 {
+		t.Fatalf("split %v does not use the chip", got)
+	}
+	if got[0] <= got[1] {
+		t.Fatalf("hungry thread got %d <= serial thread's %d", got[0], got[1])
+	}
+	if got[1] < 2 {
+		t.Fatalf("floor violated: %v", got)
+	}
+	// No demand signal: spread evenly.
+	even := p.Partition(make([]ThreadStats, 2), 16)
+	if even[0] != 8 || even[1] != 8 {
+		t.Fatalf("no-signal split %v", even)
+	}
+}
+
+func TestDistantILPPartitionSumInvariant(t *testing.T) {
+	p := DistantILPPartition{}
+	for _, stats := range [][]ThreadStats{
+		{{DistantFrac: 0.5, IPC: 1}, {DistantFrac: 0.5, IPC: 2}, {DistantFrac: 0.5, IPC: 1}},
+		{{DistantFrac: 0.33, IPC: 0.5}, {DistantFrac: 0.66, IPC: 3}},
+		{{DistantFrac: 1, IPC: 2}, {DistantFrac: 0, IPC: 1}, {DistantFrac: 0.2, IPC: 1}, {DistantFrac: 0.7, IPC: 2}},
+	} {
+		got := p.Partition(stats, 16)
+		sum := 0
+		for _, v := range got {
+			if v < 1 {
+				t.Fatalf("allotment %v has entry below 1", got)
+			}
+			sum += v
+		}
+		if sum != 16 {
+			t.Fatalf("allotments %v sum to %d", got, sum)
+		}
+	}
+}
+
+func TestSystemValidation(t *testing.T) {
+	cfg := pipeline.DefaultConfig()
+	if _, err := New(cfg, nil, 16, EqualPartition{}); err == nil {
+		t.Fatal("no threads accepted")
+	}
+	if _, err := New(cfg, []Thread{{Bench: "gzip"}, {Bench: "vpr"}}, 1, EqualPartition{}); err == nil {
+		t.Fatal("1 cluster for 2 threads accepted")
+	}
+	if _, err := New(cfg, []Thread{{Bench: "nope"}}, 16, EqualPartition{}); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+	if _, err := New(cfg, []Thread{{Bench: "gzip"}, {Bench: "vpr"}}, 16,
+		FixedPartition{Split: []int{12, 12}}); err == nil {
+		t.Fatal("oversubscribed fixed split accepted")
+	}
+}
+
+func TestCoScheduleRuns(t *testing.T) {
+	cfg := pipeline.DefaultConfig()
+	sys, err := New(cfg, []Thread{
+		{Bench: "swim", Seed: 1},
+		{Bench: "vpr", Seed: 1},
+	}, 16, EqualPartition{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := sys.Run(5, 10_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Epochs != 5 || rep.Cycles != 50_000 {
+		t.Fatalf("report %+v", rep)
+	}
+	if rep.Throughput() <= 0 {
+		t.Fatal("no combined throughput")
+	}
+	for i := range rep.ThreadIPC {
+		if rep.ThreadIPC[i] <= 0 {
+			t.Fatalf("thread %d made no progress", i)
+		}
+		if got := rep.AvgClusters(i); got != 8 {
+			t.Fatalf("thread %d avg clusters %f under equal split", i, got)
+		}
+	}
+}
+
+func TestAdaptivePartitionFavorsILP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	cfg := pipeline.DefaultConfig()
+	mk := func(pol PartitionPolicy) Report {
+		sys, err := New(cfg, []Thread{
+			{Bench: "swim", Seed: 1}, // distant ILP: wants width
+			{Bench: "vpr", Seed: 1},  // serial: cedes width
+		}, 16, pol)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := sys.Run(30, 10_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	adaptive := mk(DistantILPPartition{})
+	equal := mk(EqualPartition{})
+	if adaptive.AvgClusters(0) <= equal.AvgClusters(0) {
+		t.Fatalf("adaptive gave swim %.1f clusters, equal gave %.1f",
+			adaptive.AvgClusters(0), equal.AvgClusters(0))
+	}
+	if adaptive.Repartitions == 0 {
+		t.Fatal("adaptive policy never repartitioned")
+	}
+	// Combined throughput should not be hurt by shifting clusters toward
+	// the thread that can use them.
+	if adaptive.Throughput() < equal.Throughput()*0.97 {
+		t.Fatalf("adaptive throughput %.3f well below equal %.3f",
+			adaptive.Throughput(), equal.Throughput())
+	}
+}
+
+func TestFixedPartitionName(t *testing.T) {
+	if (FixedPartition{Split: []int{4, 12}}).Name() == "" {
+		t.Fatal("empty name")
+	}
+	if (EqualPartition{}).Name() != "equal" || (DistantILPPartition{}).Name() != "distant-ilp" {
+		t.Fatal("policy names wrong")
+	}
+}

@@ -1,0 +1,226 @@
+package stats
+
+import (
+	"testing"
+	"testing/quick"
+
+	"clustersim/internal/pipeline"
+	"clustersim/internal/workload"
+)
+
+func mkInterval(instrs, cycles, br, mem uint64) Interval {
+	return Interval{Instructions: instrs, Cycles: cycles, Branches: br, Memrefs: mem}
+}
+
+func TestIntervalIPC(t *testing.T) {
+	if (Interval{}).IPC() != 0 {
+		t.Fatal("zero interval IPC")
+	}
+	if got := mkInterval(100, 50, 0, 0).IPC(); got != 2 {
+		t.Fatalf("IPC %f", got)
+	}
+}
+
+func TestRecorderCollectsIntervals(t *testing.T) {
+	r := NewRecorder(1000)
+	r.Reset(16)
+	p := pipeline.MustNew(pipeline.DefaultConfig(), workload.MustNew("gzip", 1), r)
+	p.Run(25_000)
+	ivs := r.Intervals()
+	if len(ivs) < 20 {
+		t.Fatalf("got %d intervals, want >= 20", len(ivs))
+	}
+	for i, iv := range ivs {
+		if iv.Instructions != 1000 {
+			t.Fatalf("interval %d has %d instructions", i, iv.Instructions)
+		}
+		if iv.Cycles == 0 {
+			t.Fatalf("interval %d has zero cycles", i)
+		}
+		if iv.Branches == 0 || iv.Memrefs == 0 {
+			t.Fatalf("interval %d missing metrics: %+v", i, iv)
+		}
+		if iv.Branches+iv.Memrefs > iv.Instructions {
+			t.Fatalf("interval %d metrics exceed instructions", i)
+		}
+	}
+}
+
+func TestRecorderPinsClusters(t *testing.T) {
+	r := NewRecorder(1000)
+	r.Clusters = 4
+	p := pipeline.MustNew(pipeline.DefaultConfig(), workload.MustNew("gzip", 1), r)
+	p.Run(10_000)
+	if p.ActiveClusters() != 4 {
+		t.Fatalf("recorder did not pin clusters: %d", p.ActiveClusters())
+	}
+}
+
+func TestAggregate(t *testing.T) {
+	trace := []Interval{
+		mkInterval(10, 5, 1, 2), mkInterval(10, 5, 1, 2),
+		mkInterval(10, 10, 3, 4), mkInterval(10, 10, 3, 4),
+		mkInterval(10, 1, 0, 0), // trailing partial group
+	}
+	agg := Aggregate(trace, 2)
+	if len(agg) != 2 {
+		t.Fatalf("aggregated %d groups", len(agg))
+	}
+	if agg[0] != mkInterval(20, 10, 2, 4) {
+		t.Fatalf("group 0: %+v", agg[0])
+	}
+	if agg[1] != mkInterval(20, 20, 6, 8) {
+		t.Fatalf("group 1: %+v", agg[1])
+	}
+	// k<=1 copies.
+	same := Aggregate(trace, 1)
+	if len(same) != len(trace) {
+		t.Fatal("k=1 changed length")
+	}
+	same[0].Instructions = 999
+	if trace[0].Instructions == 999 {
+		t.Fatal("k=1 did not copy")
+	}
+}
+
+// Property: aggregation preserves totals over whole groups.
+func TestAggregatePreservesTotals(t *testing.T) {
+	f := func(raw []uint8, k8 uint8) bool {
+		k := int(k8%4) + 1
+		trace := make([]Interval, len(raw))
+		for i, v := range raw {
+			trace[i] = mkInterval(uint64(v)+1, uint64(v)+2, uint64(v)%7, uint64(v)%5)
+		}
+		agg := Aggregate(trace, k)
+		var wantInstrs, gotInstrs uint64
+		n := (len(trace) / k) * k
+		for _, iv := range trace[:n] {
+			wantInstrs += iv.Instructions
+		}
+		for _, iv := range agg {
+			gotInstrs += iv.Instructions
+		}
+		return wantInstrs == gotInstrs
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInstabilityUniformTraceIsStable(t *testing.T) {
+	trace := make([]Interval, 100)
+	for i := range trace {
+		trace[i] = mkInterval(1000, 500, 100, 300)
+	}
+	if got := Instability(trace, DefaultThresholds()); got != 0 {
+		t.Fatalf("uniform trace instability %f", got)
+	}
+}
+
+func TestInstabilityAlternatingTrace(t *testing.T) {
+	trace := make([]Interval, 100)
+	for i := range trace {
+		if i%2 == 0 {
+			trace[i] = mkInterval(1000, 500, 100, 300)
+		} else {
+			trace[i] = mkInterval(1000, 500, 200, 300) // branch surge
+		}
+	}
+	got := Instability(trace, DefaultThresholds())
+	if got < 90 {
+		t.Fatalf("alternating trace instability %f, want ~100", got)
+	}
+}
+
+func TestInstabilitySinglePhaseChange(t *testing.T) {
+	trace := make([]Interval, 100)
+	for i := range trace {
+		if i < 50 {
+			trace[i] = mkInterval(1000, 500, 100, 300)
+		} else {
+			trace[i] = mkInterval(1000, 500, 250, 350)
+		}
+	}
+	got := Instability(trace, DefaultThresholds())
+	// Exactly one unstable interval out of 99.
+	if got < 0.5 || got > 2 {
+		t.Fatalf("single phase change instability %f", got)
+	}
+}
+
+func TestInstabilityIPCOnly(t *testing.T) {
+	trace := make([]Interval, 10)
+	for i := range trace {
+		cycles := uint64(500)
+		if i == 5 {
+			cycles = 2000 // IPC collapses
+		}
+		trace[i] = mkInterval(1000, cycles, 100, 300)
+	}
+	if got := Instability(trace, DefaultThresholds()); got == 0 {
+		t.Fatal("IPC collapse not detected")
+	}
+}
+
+func TestInstabilityShortTraces(t *testing.T) {
+	if Instability(nil, DefaultThresholds()) != 0 {
+		t.Fatal("nil trace")
+	}
+	if Instability([]Interval{mkInterval(1, 1, 0, 0)}, DefaultThresholds()) != 0 {
+		t.Fatal("singleton trace")
+	}
+}
+
+func TestAggregationStabilizesAlternation(t *testing.T) {
+	// The Table 4 effect: a trace alternating at period 2 is maximally
+	// unstable at base granularity and perfectly stable at k=2.
+	trace := make([]Interval, 200)
+	for i := range trace {
+		if i%2 == 0 {
+			trace[i] = mkInterval(1000, 400, 100, 300)
+		} else {
+			trace[i] = mkInterval(1000, 600, 200, 340)
+		}
+	}
+	fine := Instability(trace, DefaultThresholds())
+	coarse := Instability(Aggregate(trace, 2), DefaultThresholds())
+	if fine < 50 {
+		t.Fatalf("fine instability %f", fine)
+	}
+	if coarse != 0 {
+		t.Fatalf("coarse instability %f", coarse)
+	}
+}
+
+func TestMinStableInterval(t *testing.T) {
+	trace := make([]Interval, 240)
+	for i := range trace {
+		if (i/3)%2 == 0 { // period-6 alternation
+			trace[i] = mkInterval(1000, 400, 100, 300)
+		} else {
+			trace[i] = mkInterval(1000, 600, 220, 350)
+		}
+	}
+	length, factor := MinStableInterval(trace, 10_000, []int{1, 2, 3, 6, 12}, 5, DefaultThresholds())
+	if length != 60_000 {
+		t.Fatalf("min stable interval %d, want 60000", length)
+	}
+	if factor >= 5 {
+		t.Fatalf("reported factor %f", factor)
+	}
+}
+
+func TestInstabilityCurveMonotoneForPeriodicTrace(t *testing.T) {
+	trace := make([]Interval, 240)
+	for i := range trace {
+		if (i/4)%2 == 0 {
+			trace[i] = mkInterval(1000, 400, 100, 300)
+		} else {
+			trace[i] = mkInterval(1000, 600, 220, 350)
+		}
+	}
+	curve := InstabilityCurve(trace, []int{1, 8}, DefaultThresholds())
+	if curve[1] >= curve[0] {
+		t.Fatalf("coarsening did not reduce instability: %v", curve)
+	}
+}

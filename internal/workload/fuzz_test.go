@@ -1,0 +1,38 @@
+package workload
+
+import (
+	"testing"
+
+	"clustersim/internal/isa"
+)
+
+// FuzzGeneratorDeterminism checks that any (benchmark, seed) pair yields
+// identical streams across two independent generators, and that the stream
+// satisfies the structural invariants the pipeline relies on.
+func FuzzGeneratorDeterminism(f *testing.F) {
+	f.Add(uint8(0), uint64(1))
+	f.Add(uint8(4), uint64(42))
+	f.Fuzz(func(t *testing.T, which uint8, seed uint64) {
+		names := Benchmarks()
+		name := names[int(which)%len(names)]
+		a := MustNew(name, seed)
+		b := MustNew(name, seed)
+		var x, y isa.Instruction
+		for i := 0; i < 1500; i++ {
+			a.Next(&x)
+			b.Next(&y)
+			if x != y {
+				t.Fatalf("%s seed %d diverged at %d", name, seed, i)
+			}
+			if uint64(x.SrcDist1) > uint64(i) || uint64(x.SrcDist2) > uint64(i) {
+				t.Fatalf("distance exceeds position at %d: %+v", i, x)
+			}
+			if x.Class.IsMem() && x.Addr%8 != 0 {
+				t.Fatalf("unaligned address %#x", x.Addr)
+			}
+			if x.Class.IsCtrl() && !x.EndsBlock {
+				t.Fatalf("control transfer without EndsBlock at %d", i)
+			}
+		}
+	})
+}
