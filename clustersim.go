@@ -25,9 +25,11 @@ package clustersim
 
 import (
 	"fmt"
+	"io"
 
 	"clustersim/internal/core"
 	"clustersim/internal/energy"
+	"clustersim/internal/obs"
 	"clustersim/internal/pipeline"
 	"clustersim/internal/smt"
 	"clustersim/internal/stats"
@@ -87,6 +89,26 @@ type (
 	EqualPartition      = smt.EqualPartition
 	FixedPartition      = smt.FixedPartition
 	DistantILPPartition = smt.DistantILPPartition
+
+	// Observer bundles the observability facilities a processor writes to
+	// (set Config.Observer); a nil Observer disables instrumentation at
+	// zero hot-path cost.
+	Observer = obs.Observer
+	// MetricsRegistry holds named counters, gauges and histograms.
+	MetricsRegistry = obs.Registry
+	// MetricsSnapshot is a point-in-time registry export (JSON/CSV).
+	MetricsSnapshot = obs.Snapshot
+	// Tracer consumes structured trace events.
+	Tracer = obs.Tracer
+	// TraceEvent is one structured trace record (controller decisions,
+	// interval boundaries, redirects, reconfiguration drains, samples).
+	TraceEvent = obs.Event
+	// RingSink, JSONLSink and ChromeSink are the provided trace sinks.
+	RingSink   = obs.RingSink
+	JSONLSink  = obs.JSONLSink
+	ChromeSink = obs.ChromeSink
+	// TimeSeries accumulates probe samples for CSV export.
+	TimeSeries = obs.TimeSeries
 )
 
 // Topology and cache-model selectors.
@@ -153,6 +175,28 @@ func NewFineGrain(cfg FineGrainConfig) Controller { return core.NewFineGrain(cfg
 // NewRecorder returns a non-reconfiguring controller that records a metric
 // trace at the given base interval length for phase analysis.
 func NewRecorder(base uint64) *Recorder { return stats.NewRecorder(base) }
+
+// NewMetricsRegistry returns an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// NewRingSink returns a trace sink keeping the most recent n events in
+// memory.
+func NewRingSink(n int) *RingSink { return obs.NewRingSink(n) }
+
+// NewJSONLSink returns a trace sink writing one JSON object per event to w
+// (Close flushes, and closes w if it is an io.Closer).
+func NewJSONLSink(w io.Writer) *JSONLSink { return obs.NewJSONLSink(w) }
+
+// NewChromeSink returns a trace sink writing the Chrome trace_event array
+// format, loadable in chrome://tracing or ui.perfetto.dev.
+func NewChromeSink(w io.Writer) *ChromeSink { return obs.NewChromeSink(w) }
+
+// ServeMetrics exposes live registry snapshots over HTTP on addr
+// (/metrics, /metrics.csv, /debug/vars). It returns once the listener is
+// bound, reporting the bound address; the returned function shuts it down.
+func ServeMetrics(addr string, r *MetricsRegistry) (string, func() error, error) {
+	return obs.Serve(addr, r)
+}
 
 // Instability computes the §4.1 instability factor (percent of unstable
 // intervals) of a recorded trace using the default significance thresholds.

@@ -5,6 +5,9 @@
 //
 //	clustersim -bench gzip -policy explore -n 1000000
 //	clustersim -bench swim -policy static -clusters 8 -cache dist -topo grid
+//	clustersim -bench gzip -trace out.jsonl -metrics m.json
+//	clustersim -bench gzip -trace gzip.trace -trace-format chrome
+//	clustersim -bench parser -n 100000000 -serve :8080
 package main
 
 import (
@@ -26,6 +29,11 @@ func main() {
 	cache := flag.String("cache", "central", "central | dist")
 	topo := flag.String("topo", "ring", "ring | grid")
 	interval := flag.Uint64("interval", 0, "interval length for dilp (0 = paper default)")
+	trace := flag.String("trace", "", "write a structured event trace to this file")
+	traceFormat := flag.String("trace-format", "jsonl", "trace file format: jsonl | chrome")
+	metrics := flag.String("metrics", "", "write a metrics snapshot (JSON) to this file")
+	sample := flag.Uint64("sample", 10_000, "probe sampling period in cycles (0 disables)")
+	serve := flag.String("serve", "", "serve live metrics over HTTP on this address (e.g. :8080)")
 	flag.Parse()
 
 	if *list {
@@ -65,9 +73,69 @@ func main() {
 		fatal("unknown -policy %q", *policy)
 	}
 
+	// Observability: any of -trace, -metrics or -serve attaches an
+	// observer; without them the simulation runs uninstrumented. Output
+	// files are created up front so a bad path fails before a long run,
+	// not after it.
+	var ob *clustersim.Observer
+	var closeTrace func() error
+	var metricsFile *os.File
+	if *trace != "" || *metrics != "" || *serve != "" {
+		ob = &clustersim.Observer{SamplePeriod: *sample}
+		if *metrics != "" || *serve != "" {
+			ob.Registry = clustersim.NewMetricsRegistry()
+		}
+		if *metrics != "" {
+			f, err := os.Create(*metrics)
+			if err != nil {
+				fatal("%v", err)
+			}
+			metricsFile = f
+		}
+		if *trace != "" {
+			if *traceFormat != "jsonl" && *traceFormat != "chrome" {
+				fatal("unknown -trace-format %q", *traceFormat)
+			}
+			f, err := os.Create(*trace)
+			if err != nil {
+				fatal("%v", err)
+			}
+			if *traceFormat == "jsonl" {
+				s := clustersim.NewJSONLSink(f)
+				ob.Tracer, closeTrace = s, s.Close
+			} else {
+				s := clustersim.NewChromeSink(f)
+				ob.Tracer, closeTrace = s, s.Close
+			}
+		}
+		if *serve != "" {
+			addr, closeServe, err := clustersim.ServeMetrics(*serve, ob.Registry)
+			if err != nil {
+				fatal("%v", err)
+			}
+			defer closeServe()
+			fmt.Fprintf(os.Stderr, "serving metrics on %s (/metrics, /metrics.csv, /debug/vars)\n", addr)
+		}
+		cfg.Observer = ob
+	}
+
 	res, err := clustersim.Run(*bench, *seed, cfg, ctrl, *n)
 	if err != nil {
 		fatal("%v", err)
+	}
+
+	if closeTrace != nil {
+		if err := closeTrace(); err != nil {
+			fatal("closing trace: %v", err)
+		}
+	}
+	if metricsFile != nil {
+		if err := ob.Registry.Snapshot().WriteJSON(metricsFile); err != nil {
+			fatal("writing metrics: %v", err)
+		}
+		if err := metricsFile.Close(); err != nil {
+			fatal("closing metrics: %v", err)
+		}
 	}
 
 	fmt.Printf("benchmark        %s\n", res.Benchmark)
@@ -76,12 +144,13 @@ func main() {
 	fmt.Printf("cycles           %d\n", res.Cycles)
 	fmt.Printf("IPC              %.3f\n", res.IPC())
 	fmt.Printf("avg clusters     %.2f of %d\n", res.AvgActiveClusters(), cfg.Clusters)
-	fmt.Printf("reconfigs        %d\n", res.Reconfigs)
+	fmt.Printf("reconfigs        %d (%.1f/M instrs)\n", res.Reconfigs, res.ReconfigsPerMInstr())
 	fmt.Printf("mispred interval %.0f instructions\n", res.MispredictInterval())
 	fmt.Printf("reg transfers    %d (avg %.1f cycles)\n", res.RegTransfers, res.AvgRegCommLatency())
 	fmt.Printf("L1 miss rate     %.3f\n", res.Mem.L1MissRate())
 	fmt.Printf("distant issued   %d (%.0f/1K instrs)\n", res.DistantIssued,
 		1000*float64(res.DistantIssued)/float64(res.Instructions))
+	fmt.Printf("distant fraction %.2f of commits\n", res.DistantILPFraction())
 	if cfg.Cache == clustersim.DecentralizedCache {
 		fmt.Printf("bank mispredicts %d\n", res.BankMispredicts)
 		fmt.Printf("flush writebacks %d (%d flushes)\n", res.Mem.FlushWritebacks, res.Mem.Flushes)

@@ -27,6 +27,8 @@ func main() {
 	scale := flag.Float64("scale", 1.0, "simulation window scale factor")
 	benches := flag.String("bench", "", "comma-separated benchmark subset (default: all nine)")
 	format := flag.String("format", "text", "output format: text | chart | csv")
+	obsDir := flag.String("obs", "", "write per-run time-series CSVs and metrics snapshots under this directory (e.g. results/obs)")
+	obsSample := flag.Uint64("obs-sample", 0, "probe sampling period in cycles for -obs (0 = 10K)")
 	flag.Parse()
 
 	reg := experiments.Registry()
@@ -44,7 +46,7 @@ func main() {
 		ids = strings.Split(*runIDs, ",")
 	}
 
-	opts := experiments.Options{Seed: *seed, Scale: *scale}
+	opts := experiments.Options{Seed: *seed, Scale: *scale, ObsDir: *obsDir, ObsSamplePeriod: *obsSample}
 	if *benches != "" {
 		opts.Benchmarks = strings.Split(*benches, ",")
 	}

@@ -24,6 +24,7 @@ package core
 import (
 	"fmt"
 
+	"clustersim/internal/obs"
 	"clustersim/internal/pipeline"
 )
 
@@ -86,3 +87,40 @@ func (m *intervalMeter) ipc(now uint64) float64 {
 }
 
 func (m *intervalMeter) reset() { *m = intervalMeter{} }
+
+// decisionObserver is the controller-side observability hook shared by the
+// reconfiguration policies: it emits decision/interval trace events and
+// counts them in the registry. The zero value (no observer) is disabled and
+// every method is cheap to call unconditionally.
+type decisionObserver struct {
+	o *obs.Observer
+}
+
+// attach implements the pipeline.ObserverAware plumbing.
+func (d *decisionObserver) attach(o *obs.Observer) { d.o = o }
+
+// enabled reports whether any sink is attached.
+func (d *decisionObserver) enabled() bool { return d.o.Enabled() }
+
+// decision emits one controller decision with its trigger reason and
+// measurements, and bumps the per-trigger registry counter.
+func (d *decisionObserver) decision(ev *obs.Event) {
+	if !d.o.Enabled() {
+		return
+	}
+	ev.Kind = obs.KindDecision
+	d.o.Emit(ev)
+	d.o.Counter("ctrl.decisions").Inc()
+	d.o.Counter("ctrl.decisions." + ev.Trigger).Inc()
+}
+
+// interval emits one interval-boundary event with the interval's
+// measurements.
+func (d *decisionObserver) interval(ev *obs.Event) {
+	if !d.o.Enabled() {
+		return
+	}
+	ev.Kind = obs.KindInterval
+	d.o.Emit(ev)
+	d.o.Counter("ctrl.intervals").Inc()
+}

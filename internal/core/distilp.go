@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"clustersim/internal/obs"
 	"clustersim/internal/pipeline"
 )
 
@@ -83,7 +84,12 @@ type DistantILP struct {
 
 	phaseChanges uint64
 	decisions    uint64
+
+	dobs decisionObserver
 }
+
+// AttachObserver implements pipeline.ObserverAware.
+func (d *DistantILP) AttachObserver(o *obs.Observer) { d.dobs.attach(o) }
 
 // NewDistantILP returns the §4.3 controller. Pass a zero config for the
 // paper's constants.
@@ -122,10 +128,19 @@ func (d *DistantILP) OnCommit(ev pipeline.CommitEvent) int {
 	distant := d.meter.distant
 	d.meter.reset()
 
+	if d.dobs.enabled() {
+		d.dobs.interval(&obs.Event{Cycle: ev.Cycle, Policy: d.Name(), IPC: ipc,
+			DistantFrac: float64(distant) / float64(d.cfg.Interval),
+			Interval:    d.cfg.Interval, OldActive: d.current, NewActive: d.current})
+	}
+
 	if d.measuring {
 		// Decision interval at full width: pick by distant ILP.
+		old := d.current
+		trigger := "distant-ilp-low"
 		if distant >= d.cfg.Threshold {
 			d.current = d.cfg.Wide
+			trigger = "distant-ilp-high"
 		} else {
 			d.current = d.cfg.Narrow
 		}
@@ -135,6 +150,10 @@ func (d *DistantILP) OnCommit(ev pipeline.CommitEvent) int {
 		d.refMemrefs = memrefs
 		d.haveReference = true
 		d.measuring = false
+		d.dobs.decision(&obs.Event{Cycle: ev.Cycle, Policy: d.Name(),
+			Trigger: trigger, OldActive: old, NewActive: d.current, IPC: ipc,
+			DistantFrac: float64(distant) / float64(d.cfg.Interval),
+			Interval:    d.cfg.Interval})
 		return d.current
 	}
 
@@ -144,10 +163,14 @@ func (d *DistantILP) OnCommit(ev pipeline.CommitEvent) int {
 	ipcChanged := relDelta(ipc, d.refIPC) > d.cfg.IPCDelta
 	if memChanged || brChanged || ipcChanged {
 		// Phase change: return to full width and measure again.
+		old := d.current
 		d.phaseChanges++
 		d.measuring = true
 		d.haveReference = false
 		d.current = d.cfg.Wide
+		d.dobs.decision(&obs.Event{Cycle: ev.Cycle, Policy: d.Name(),
+			Trigger: "phase-change", OldActive: old, NewActive: d.current,
+			IPC: ipc, Interval: d.cfg.Interval})
 	}
 	return d.current
 }

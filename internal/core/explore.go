@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"clustersim/internal/obs"
 	"clustersim/internal/pipeline"
 )
 
@@ -133,7 +134,13 @@ type Explore struct {
 	phaseChanges   uint64
 	explorations   uint64
 	intervalGrowth int
+
+	dobs decisionObserver
 }
+
+// AttachObserver implements pipeline.ObserverAware: decisions are reported
+// with their trigger reasons and interval measurements.
+func (e *Explore) AttachObserver(o *obs.Observer) { e.dobs.attach(o) }
 
 // NewExplore returns the Figure 4 controller. Pass a zero ExploreConfig for
 // the paper's constants.
@@ -225,14 +232,19 @@ func (e *Explore) observeMacro(ev pipeline.CommitEvent) {
 			macro := e.macrophases
 			cfg := e.cfg
 			total := e.total
+			dobs := e.dobs
 			*e = Explore{cfg: cfg, total: total,
 				intervalLength: cfg.InitialInterval,
 				exploreIPC:     make([]float64, len(cfg.Configs)),
 				popularity:     make(map[int]uint64),
 				macrophases:    macro,
 				current:        cur,
+				dobs:           dobs,
 			}
 			e.startExploration()
+			e.dobs.decision(&obs.Event{Cycle: ev.Cycle, Policy: e.Name(),
+				Trigger: "macrophase", OldActive: cur, NewActive: e.current,
+				Interval: e.intervalLength})
 			return
 		}
 	}
@@ -246,8 +258,14 @@ func (e *Explore) endInterval(now uint64) {
 	ipc := e.meter.ipc(now)
 	branches := float64(e.meter.branches)
 	memrefs := float64(e.meter.memrefs)
+	distantFrac := float64(e.meter.distant) / float64(e.meter.instrs)
 	e.meter.reset()
 	e.popularity[e.current] += 1
+	if e.dobs.enabled() {
+		e.dobs.interval(&obs.Event{Cycle: now, Policy: e.Name(), IPC: ipc,
+			DistantFrac: distantFrac, Interval: e.intervalLength,
+			OldActive: e.current, NewActive: e.current})
+	}
 
 	metricDelta := e.cfg.MetricDelta * float64(e.intervalLength)
 
@@ -271,16 +289,23 @@ func (e *Explore) endInterval(now uint64) {
 			e.haveReference = false
 			e.ipcVariation = 0
 			e.instability += 2
+			old := e.current
 			if e.instability > e.cfg.Thresh2 {
 				e.intervalLength *= 2
 				e.intervalGrowth++
 				e.instability = 0
 				if e.intervalLength > e.cfg.MaxInterval {
 					e.discontinue()
+					e.dobs.decision(&obs.Event{Cycle: now, Policy: e.Name(),
+						Trigger: "discontinued", OldActive: old, NewActive: e.current,
+						IPC: ipc, Interval: e.intervalLength})
 					return
 				}
 			}
 			e.startExploration()
+			e.dobs.decision(&obs.Event{Cycle: now, Policy: e.Name(),
+				Trigger: "phase-change", OldActive: old, NewActive: e.current,
+				IPC: ipc, DistantFrac: distantFrac, Interval: e.intervalLength})
 			return
 		}
 		if ipcChanged {
@@ -311,7 +336,11 @@ func (e *Explore) endInterval(now uint64) {
 			// under the previous (usually wider) configuration. The
 			// later steps widen the machine, whose small drain is
 			// negligible against an interval.
+			old := e.current
 			e.current = e.cfg.Configs[e.exploreIdx]
+			e.dobs.decision(&obs.Event{Cycle: now, Policy: e.Name(),
+				Trigger: "explore-step", OldActive: old, NewActive: e.current,
+				IPC: ipc, Interval: e.intervalLength})
 			return
 		}
 		// Exploration complete: adopt the best configuration and use
@@ -322,11 +351,15 @@ func (e *Explore) endInterval(now uint64) {
 				best = i
 			}
 		}
+		old := e.current
 		e.current = e.cfg.Configs[best]
 		e.refIPC = e.exploreIPC[best]
 		e.exploring = false
 		e.stable = true
 		e.reanchor = true
+		e.dobs.decision(&obs.Event{Cycle: now, Policy: e.Name(),
+			Trigger: "explore-adopt", OldActive: old, NewActive: e.current,
+			IPC: e.refIPC, Interval: e.intervalLength})
 	}
 }
 

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"clustersim/internal/obs"
 	"clustersim/internal/pipeline"
 )
 
@@ -101,7 +102,14 @@ type FineGrain struct {
 
 	reconfigLookups uint64
 	tableFlushes    uint64
+
+	dobs decisionObserver
 }
+
+// AttachObserver implements pipeline.ObserverAware. Decisions are emitted
+// only when the advised cluster count actually changes, so the trace stays
+// proportional to reconfigurations rather than branches.
+func (f *FineGrain) AttachObserver(o *obs.Observer) { f.dobs.attach(o) }
 
 type windowSlot struct {
 	pc      uint64
@@ -193,12 +201,19 @@ func (f *FineGrain) OnCommit(ev pipeline.CommitEvent) int {
 	}
 	f.reconfigLookups++
 	e := &f.table[f.index(ev.PC)]
+	old := f.current
+	reason := "table-advice"
 	if e.advice != 0 {
 		f.current = int(e.advice)
 	} else {
 		// Unknown branch: use the wide machine so its distant ILP can
 		// be measured.
 		f.current = f.cfg.Wide
+		reason = "unknown-branch"
+	}
+	if f.current != old {
+		f.dobs.decision(&obs.Event{Cycle: ev.Cycle, Policy: f.Name(),
+			Trigger: reason, OldActive: old, NewActive: f.current, PC: ev.PC})
 	}
 	return f.current
 }

@@ -10,9 +10,12 @@ package experiments
 import (
 	"fmt"
 	"math"
+	"os"
+	"path/filepath"
 	"sort"
 	"strings"
 
+	"clustersim/internal/obs"
 	"clustersim/internal/pipeline"
 	"clustersim/internal/workload"
 )
@@ -27,6 +30,14 @@ type Options struct {
 	Scale float64
 	// Benchmarks restricts the benchmark set (nil = all nine).
 	Benchmarks []string
+	// ObsDir, when set, attaches an observability registry with
+	// cycle-sampled probes to every simulated run and writes per-run
+	// time-series CSVs plus metrics snapshots under this directory
+	// (e.g. results/obs). Empty disables instrumentation.
+	ObsDir string
+	// ObsSamplePeriod is the probe sampling period in cycles when ObsDir
+	// is set (0 = every 10K cycles).
+	ObsSamplePeriod uint64
 }
 
 func (o Options) seed() uint64 {
@@ -163,11 +174,56 @@ func geomean(vs []float64) float64 {
 	return math.Exp(sum / float64(len(vs)))
 }
 
-// run simulates one benchmark under one controller.
-func run(bench string, seed uint64, cfg pipeline.Config, ctrl pipeline.Controller, n uint64) pipeline.Result {
-	gen := workload.MustNew(bench, seed)
+// run simulates one benchmark under one controller for the experiment
+// named id. When Options.ObsDir is set, the run attaches an observability
+// registry plus cycle-sampled probes and writes "<id>-<bench>-<policy>"
+// time-series and metrics artifacts under that directory.
+func run(o Options, id, bench string, cfg pipeline.Config, ctrl pipeline.Controller, n uint64) pipeline.Result {
+	gen := workload.MustNew(bench, o.seed())
+	var ob *obs.Observer
+	if o.ObsDir != "" {
+		period := o.ObsSamplePeriod
+		if period == 0 {
+			period = 10_000
+		}
+		ob = &obs.Observer{
+			Registry:     obs.NewRegistry(),
+			SamplePeriod: period,
+			Series:       &obs.TimeSeries{},
+		}
+		cfg.Observer = ob
+	}
 	p := pipeline.MustNew(cfg, gen, ctrl)
-	return p.Run(n)
+	res := p.Run(n)
+	if ob != nil {
+		writeObsArtifacts(o.ObsDir, id, res, ob)
+	}
+	return res
+}
+
+// writeObsArtifacts exports one run's time series and metrics snapshot.
+// Export failures are reported on stderr rather than aborting a sweep that
+// may already be hours in.
+func writeObsArtifacts(dir, id string, res pipeline.Result, ob *obs.Observer) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: obs dir: %v\n", err)
+		return
+	}
+	base := fmt.Sprintf("%s-%s-%s", id, res.Benchmark, res.Policy)
+	export := func(name string, write func(*os.File) error) {
+		f, err := os.Create(filepath.Join(dir, name))
+		if err == nil {
+			err = write(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: obs export %s: %v\n", name, err)
+		}
+	}
+	export(base+".series.csv", func(f *os.File) error { return ob.Series.WriteCSV(f) })
+	export(base+".metrics.json", func(f *os.File) error { return ob.Registry.Snapshot().WriteJSON(f) })
 }
 
 // Registry maps experiment IDs to their drivers.

@@ -27,8 +27,8 @@ func Energy(o Options) *Table {
 	var disabledSum float64
 	for _, b := range o.benchmarks() {
 		w := o.Window(b)
-		rs := run(b, o.seed(), pipeline.DefaultConfig(), &core.Static{N: 16}, w)
-		ra := run(b, o.seed(), pipeline.DefaultConfig(), core.NewExplore(core.ExploreConfig{}), w)
+		rs := run(o, "ext-energy", b, pipeline.DefaultConfig(), &core.Static{N: 16}, w)
+		ra := run(o, "ext-energy", b, pipeline.DefaultConfig(), core.NewExplore(core.ExploreConfig{}), w)
 		act := func(r pipeline.Result) energy.Activity {
 			return energy.Activity{
 				Cycles:               r.Cycles,

@@ -23,7 +23,7 @@ func Table3(o Options) *Table {
 	}
 	for _, b := range o.benchmarks() {
 		pd, _ := workload.Paper(b)
-		r := run(b, o.seed(), pipeline.MonolithicConfig(), nil, o.Window(b))
+		r := run(o, "table3", b, pipeline.MonolithicConfig(), nil, o.Window(b))
 		t.Rows = append(t.Rows, Row{Name: b, Cells: []Cell{
 			Str(pd.Suite),
 			Num(r.IPC(), 2),
@@ -50,7 +50,7 @@ func Fig3(o Options) *Table {
 		for _, n := range counts {
 			cfg := pipeline.DefaultConfig()
 			cfg.ActiveClusters = n
-			r := run(b, o.seed(), cfg, nil, o.Window(b))
+			r := run(o, fmt.Sprintf("fig3-c%d", n), b, cfg, nil, o.Window(b))
 			row.Cells = append(row.Cells, Num(r.IPC(), 2))
 			if r.IPC() > best {
 				best, bestN = r.IPC(), n
@@ -97,11 +97,11 @@ func Table4(o Options) *Table {
 }
 
 // schemeSet runs one benchmark under a list of controllers and returns the
-// IPCs in order.
-func schemeSet(b string, o Options, cfg pipeline.Config, mks []func() pipeline.Controller) []pipeline.Result {
+// IPCs in order. id labels any observability artifacts the runs emit.
+func schemeSet(id, b string, o Options, cfg pipeline.Config, mks []func() pipeline.Controller) []pipeline.Result {
 	out := make([]pipeline.Result, len(mks))
 	for i, mk := range mks {
-		out[i] = run(b, o.seed(), cfg, mk(), o.Window(b))
+		out[i] = run(o, id, b, cfg, mk(), o.Window(b))
 	}
 	return out
 }
@@ -167,16 +167,24 @@ func Fig5(o Options) *Table {
 		func() pipeline.Controller { return core.NewDistantILP(core.DistantILPConfig{Interval: 10_000}) },
 	}
 	ipcs := map[string][]float64{}
+	var exploreDistant, exploreReconf []float64
 	for _, b := range o.benchmarks() {
-		rs := schemeSet(b, o, pipeline.DefaultConfig(), mks)
+		rs := schemeSet("fig5", b, o, pipeline.DefaultConfig(), mks)
 		row := Row{Name: b}
-		for _, r := range rs {
+		for i, r := range rs {
 			row.Cells = append(row.Cells, Num(r.IPC(), 2))
 			ipcs[b] = append(ipcs[b], r.IPC())
+			if i == 2 {
+				exploreDistant = append(exploreDistant, r.DistantILPFraction())
+				exploreReconf = append(exploreReconf, r.ReconfigsPerMInstr())
+			}
 		}
 		t.Rows = append(t.Rows, row)
 	}
 	summarize(t, ipcs, []int{0, 1})
+	t.Notes = append(t.Notes, fmt.Sprintf(
+		"explore scheme: mean distant-ILP fraction %.2f, %.0f reconfigurations per M instructions",
+		mean(exploreDistant), mean(exploreReconf)))
 	return t
 }
 
@@ -197,7 +205,7 @@ func Fig6(o Options) *Table {
 	}
 	ipcs := map[string][]float64{}
 	for _, b := range o.benchmarks() {
-		rs := schemeSet(b, o, pipeline.DefaultConfig(), mks)
+		rs := schemeSet("fig6", b, o, pipeline.DefaultConfig(), mks)
 		row := Row{Name: b}
 		for _, r := range rs {
 			row.Cells = append(row.Cells, Num(r.IPC(), 2))
@@ -229,8 +237,9 @@ func Fig7(o Options) *Table {
 	ipcs := map[string][]float64{}
 	var flushWB, flushes uint64
 	var exploreCycles uint64
+	var exploreReconf []float64
 	for _, b := range o.benchmarks() {
-		rs := schemeSet(b, o, cfg, mks)
+		rs := schemeSet("fig7", b, o, cfg, mks)
 		row := Row{Name: b}
 		for i, r := range rs {
 			row.Cells = append(row.Cells, Num(r.IPC(), 2))
@@ -239,6 +248,7 @@ func Fig7(o Options) *Table {
 				flushWB += r.Mem.FlushWritebacks
 				flushes += r.Mem.Flushes
 				exploreCycles += r.Cycles
+				exploreReconf = append(exploreReconf, r.ReconfigsPerMInstr())
 			}
 		}
 		t.Rows = append(t.Rows, row)
@@ -247,6 +257,9 @@ func Fig7(o Options) *Table {
 	t.Notes = append(t.Notes, fmt.Sprintf(
 		"explore scheme: %d reconfiguration flushes, %d writebacks (paper: flushes cost ~0.3%% IPC)",
 		flushes, flushWB))
+	t.Notes = append(t.Notes, fmt.Sprintf(
+		"explore scheme: mean %.0f reconfigurations per M instructions",
+		mean(exploreReconf)))
 	return t
 }
 
@@ -267,7 +280,7 @@ func Fig8(o Options) *Table {
 	}
 	ipcs := map[string][]float64{}
 	for _, b := range o.benchmarks() {
-		rs := schemeSet(b, o, cfg, mks)
+		rs := schemeSet("fig8", b, o, cfg, mks)
 		row := Row{Name: b}
 		for _, r := range rs {
 			row.Cells = append(row.Cells, Num(r.IPC(), 2))

@@ -40,8 +40,9 @@ func Sensitivity(o Options) *Table {
 			c.HopLatency = 2
 		}, "23%"},
 	}
-	for _, v := range variants {
+	for vi, v := range variants {
 		// Geomean IPC over the benchmark set per scheme.
+		id := fmt.Sprintf("sens%d", vi)
 		statics := []int{4, 8, 16}
 		gms := make([]float64, 0, 4)
 		var per [4][]float64
@@ -49,12 +50,12 @@ func Sensitivity(o Options) *Table {
 			for i, n := range statics {
 				cfg := pipeline.DefaultConfig()
 				v.mutate(&cfg)
-				r := run(b, o.seed(), cfg, &core.Static{N: n}, o.Window(b))
+				r := run(o, id, b, cfg, &core.Static{N: n}, o.Window(b))
 				per[i] = append(per[i], r.IPC())
 			}
 			cfg := pipeline.DefaultConfig()
 			v.mutate(&cfg)
-			r := run(b, o.seed(), cfg, core.NewExplore(core.ExploreConfig{}), o.Window(b))
+			r := run(o, id, b, cfg, core.NewExplore(core.ExploreConfig{}), o.Window(b))
 			per[3] = append(per[3], r.IPC())
 		}
 		for i := range per {
@@ -111,7 +112,7 @@ func Ablations(o Options) *Table {
 			cfg := pipeline.DefaultConfig()
 			cfg.Cache = v.cache
 			v.mutate(&cfg)
-			r := run(b, o.seed(), cfg, nil, o.Window(b))
+			r := run(o, "ablate-"+v.name, b, cfg, nil, o.Window(b))
 			ipcs = append(ipcs, r.IPC())
 		}
 		gm := geomean(ipcs)
@@ -137,11 +138,11 @@ func Ablations(o Options) *Table {
 	var regLat []float64
 	var disabled []float64
 	for _, b := range o.benchmarks() {
-		r := run(b, o.seed(), pipeline.DefaultConfig(), nil, o.Window(b))
+		r := run(o, "ablate-comm", b, pipeline.DefaultConfig(), nil, o.Window(b))
 		if r.RegTransfers > 0 {
 			regLat = append(regLat, r.AvgRegCommLatency())
 		}
-		re := run(b, o.seed(), pipeline.DefaultConfig(), core.NewExplore(core.ExploreConfig{}), o.Window(b))
+		re := run(o, "ablate-disabled", b, pipeline.DefaultConfig(), core.NewExplore(core.ExploreConfig{}), o.Window(b))
 		disabled = append(disabled, 16-re.AvgActiveClusters())
 	}
 	t.Notes = append(t.Notes, fmt.Sprintf(

@@ -84,6 +84,23 @@ func (l Calendar) Clear() {
 	}
 }
 
+// ReservedIn counts the cycles in [from, to) that are reserved. The window
+// is clamped to the calendar's span; observability probes use this to read
+// recent occupancy without disturbing reservations.
+func (l Calendar) ReservedIn(from, to uint64) int {
+	if to > from+uint64(len(l)) {
+		to = from + uint64(len(l))
+	}
+	mask := uint64(len(l) - 1)
+	n := 0
+	for t := from; t < to; t++ {
+		if l[t&mask] == t {
+			n++
+		}
+	}
+	return n
+}
+
 // Network is a cluster interconnect. Implementations are not safe for
 // concurrent use; a simulation owns its networks.
 type Network interface {
@@ -98,6 +115,10 @@ type Network interface {
 	// Broadcast reserves transfers from a to every node in [0, active)
 	// other than a and returns the cycle by which the last copy arrives.
 	Broadcast(ready uint64, a, active int) uint64
+	// Utilization returns the fraction of link-cycles reserved over the
+	// cycle window [from, to) across all links — an observability probe;
+	// it does not disturb reservations.
+	Utilization(from, to uint64) float64
 	// Reset clears all link reservations and statistics.
 	Reset()
 	// Stats returns cumulative transfer statistics.
@@ -275,6 +296,19 @@ func (r *Ring) Broadcast(ready uint64, a, active int) uint64 {
 	return last
 }
 
+// Utilization implements Network.
+func (r *Ring) Utilization(from, to uint64) float64 {
+	if to <= from {
+		return 0
+	}
+	reserved := 0
+	for i := range r.cw {
+		reserved += r.cw[i].ReservedIn(from, to)
+		reserved += r.ccw[i].ReservedIn(from, to)
+	}
+	return float64(reserved) / (float64(to-from) * float64(2*r.n))
+}
+
 // Reset implements Network.
 func (r *Ring) Reset() {
 	for i := range r.cw {
@@ -404,6 +438,18 @@ func (g *Grid) Broadcast(ready uint64, a, active int) uint64 {
 		}
 	}
 	return last
+}
+
+// Utilization implements Network.
+func (g *Grid) Utilization(from, to uint64) float64 {
+	if to <= from {
+		return 0
+	}
+	reserved := 0
+	for i := range g.links {
+		reserved += g.links[i].ReservedIn(from, to)
+	}
+	return float64(reserved) / (float64(to-from) * float64(len(g.links)))
 }
 
 // Reset implements Network.

@@ -99,6 +99,19 @@ func (c *central) bankAccess(t uint64, addr uint64) uint64 {
 	return c.bankFree[c.Bank(addr)].Reserve(t)
 }
 
+// BankBacklog implements System: mean reserved bank-port cycles per bank
+// over the window.
+func (c *central) BankBacklog(from, to uint64) float64 {
+	if to <= from {
+		return 0
+	}
+	reserved := 0
+	for _, cal := range c.bankFree {
+		reserved += cal.ReservedIn(from, to)
+	}
+	return float64(reserved) / float64(len(c.bankFree))
+}
+
 // Flush implements System. The centralized cache never needs a
 // reconfiguration flush, but the operation is still meaningful (e.g. tests).
 func (c *central) Flush(now uint64) (uint64, uint64) {

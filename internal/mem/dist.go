@@ -103,6 +103,19 @@ func (d *dist) bankAccess(t uint64, bank int) uint64 {
 	return d.bankFree[bank].Reserve(t)
 }
 
+// BankBacklog implements System: mean reserved bank-port cycles per active
+// bank over the window.
+func (d *dist) BankBacklog(from, to uint64) float64 {
+	if to <= from || d.activeBanks == 0 {
+		return 0
+	}
+	reserved := 0
+	for b := 0; b < d.activeBanks; b++ {
+		reserved += d.bankFree[b].ReservedIn(from, to)
+	}
+	return float64(reserved) / float64(d.activeBanks)
+}
+
 // Flush implements System: write back every dirty line in every bank to the
 // L2 and invalidate. Writebacks drain over the serialized L2 bus.
 func (d *dist) Flush(now uint64) (uint64, uint64) {

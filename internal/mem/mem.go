@@ -166,6 +166,10 @@ type System interface {
 	// Flush writes back all dirty L1 lines starting at cycle now and
 	// returns when the flush completes and how many lines were written.
 	Flush(now uint64) (done uint64, writebacks uint64)
+	// BankBacklog returns the mean number of reserved L1 bank-port
+	// cycles per bank over the window [from, to) — an observability
+	// probe for cache-port pressure; it does not disturb reservations.
+	BankBacklog(from, to uint64) float64
 	// Reset restores cold caches and zeroed statistics.
 	Reset()
 	// Stats returns cumulative statistics.

@@ -1,0 +1,75 @@
+// Package obs is the simulator-wide observability layer: a zero-dependency
+// metrics registry (counters, gauges, fixed-bucket histograms), a structured
+// event tracer with pluggable sinks, and cycle-sampled probes, all designed
+// so that a *disabled* observer costs nothing on the simulator's hot path.
+//
+// The paper's contribution is a run-time control loop — interval
+// exploration, distant-ILP thresholds, per-branch reconfiguration tables —
+// and this package makes that loop visible: every controller decision is
+// emitted as a trace Event carrying the trigger reason, the old and new
+// cluster counts and the measurements (IPC, distant-ILP fraction, interval
+// length) that produced it, while sampled probes expose issue-queue
+// occupancy, interconnect link utilization and L1 bank-port backlog as the
+// phases evolve.
+//
+// An Observer bundles one Registry, an optional Tracer sink and the probe
+// sampling period. All Observer methods are nil-safe: a nil *Observer is
+// the disabled state, and callers on hot paths guard with a single pointer
+// test (`if obs != nil`), so the instrumentation is free when unused.
+package obs
+
+// Observer bundles the observability facilities one simulated processor
+// writes to. The zero value (and, everywhere, a nil pointer) disables all
+// of them.
+type Observer struct {
+	// Registry receives metric updates; nil disables metrics.
+	Registry *Registry
+	// Tracer receives structured events; nil disables tracing.
+	Tracer Tracer
+	// SamplePeriod is the number of cycles between probe samples
+	// (issue-queue occupancy, link utilization, bank backlog). Zero
+	// disables sampling.
+	SamplePeriod uint64
+	// Series, when non-nil, accumulates one time-series row per probe
+	// sample for CSV export.
+	Series *TimeSeries
+}
+
+// Enabled reports whether the observer does anything at all.
+func (o *Observer) Enabled() bool {
+	return o != nil && (o.Registry != nil || o.Tracer != nil)
+}
+
+// Emit forwards an event to the tracer, if any. Nil-safe.
+func (o *Observer) Emit(ev *Event) {
+	if o == nil || o.Tracer == nil {
+		return
+	}
+	o.Tracer.Emit(ev)
+}
+
+// Counter returns the named registry counter, or nil when metrics are
+// disabled. Callers cache the pointer and guard increments with a nil test.
+func (o *Observer) Counter(name string) *Counter {
+	if o == nil || o.Registry == nil {
+		return nil
+	}
+	return o.Registry.Counter(name)
+}
+
+// Gauge returns the named registry gauge, or nil when metrics are disabled.
+func (o *Observer) Gauge(name string) *Gauge {
+	if o == nil || o.Registry == nil {
+		return nil
+	}
+	return o.Registry.Gauge(name)
+}
+
+// Histogram returns the named registry histogram (created with the given
+// upper bounds), or nil when metrics are disabled.
+func (o *Observer) Histogram(name string, bounds []float64) *Histogram {
+	if o == nil || o.Registry == nil {
+		return nil
+	}
+	return o.Registry.Histogram(name, bounds)
+}

@@ -1,0 +1,372 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing uint64 metric. Increments are a
+// single atomic add, safe for concurrent snapshot readers (the --serve
+// endpoint reads while a simulation writes).
+type Counter struct{ v atomic.Uint64 }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Store overwrites the counter's value (used to sync a counter to an
+// externally accumulated total, e.g. a pipeline.Result field).
+func (c *Counter) Store(n uint64) {
+	if c == nil {
+		return
+	}
+	c.v.Store(n)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an instantaneous float64 metric.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set overwrites the gauge's value.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram is a fixed-bucket histogram: bounds are the inclusive upper
+// bounds of each bucket, and one implicit overflow bucket catches the rest.
+// Observations are atomic bucket increments.
+type Histogram struct {
+	bounds  []float64
+	buckets []atomic.Uint64
+	count   atomic.Uint64
+	sumBits atomic.Uint64 // float64 bits, CAS-updated
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	b := make([]float64, len(bounds))
+	copy(b, bounds)
+	sort.Float64s(b)
+	return &Histogram{bounds: b, buckets: make([]atomic.Uint64, len(b)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram.
+type HistogramSnapshot struct {
+	// Bounds are the bucket upper bounds; Buckets has len(Bounds)+1
+	// entries, the last being the overflow bucket.
+	Bounds  []float64 `json:"bounds"`
+	Buckets []uint64  `json:"buckets"`
+	Count   uint64    `json:"count"`
+	Sum     float64   `json:"sum"`
+}
+
+// Mean returns the mean observed value, or 0 with no observations.
+func (h HistogramSnapshot) Mean() float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return h.Sum / float64(h.Count)
+}
+
+// Registry is a namespace of named metrics. Metric creation takes a lock;
+// updates through the returned handles are lock-free, so hot paths fetch
+// their handles once and increment through them.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given bucket
+// upper bounds on first use (later calls ignore bounds).
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.histograms[name]
+	if !ok {
+		h = newHistogram(bounds)
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// Snapshot is a point-in-time copy of every metric in a registry, suitable
+// for JSON/CSV export and merging.
+type Snapshot struct {
+	Counters   map[string]uint64            `json:"counters"`
+	Gauges     map[string]float64           `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+}
+
+// Snapshot copies the registry's current values. It is safe to call while
+// other goroutines update metrics.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := Snapshot{
+		Counters:   make(map[string]uint64, len(r.counters)),
+		Gauges:     make(map[string]float64, len(r.gauges)),
+		Histograms: make(map[string]HistogramSnapshot, len(r.histograms)),
+	}
+	for name, c := range r.counters {
+		s.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.Value()
+	}
+	for name, h := range r.histograms {
+		hs := HistogramSnapshot{
+			Bounds:  append([]float64(nil), h.bounds...),
+			Buckets: make([]uint64, len(h.buckets)),
+			Count:   h.count.Load(),
+			Sum:     math.Float64frombits(h.sumBits.Load()),
+		}
+		for i := range h.buckets {
+			hs.Buckets[i] = h.buckets[i].Load()
+		}
+		s.Histograms[name] = hs
+	}
+	return s
+}
+
+// Merge folds other into s: counters and histogram buckets add, gauges take
+// other's value (last writer wins — a gauge is instantaneous). Histograms
+// with mismatched bounds keep s's buckets and only fold count and sum.
+func (s *Snapshot) Merge(other Snapshot) {
+	if s.Counters == nil {
+		s.Counters = make(map[string]uint64)
+	}
+	if s.Gauges == nil {
+		s.Gauges = make(map[string]float64)
+	}
+	if s.Histograms == nil {
+		s.Histograms = make(map[string]HistogramSnapshot)
+	}
+	for name, v := range other.Counters {
+		s.Counters[name] += v
+	}
+	for name, v := range other.Gauges {
+		s.Gauges[name] = v
+	}
+	for name, oh := range other.Histograms {
+		sh, ok := s.Histograms[name]
+		if !ok {
+			s.Histograms[name] = HistogramSnapshot{
+				Bounds:  append([]float64(nil), oh.Bounds...),
+				Buckets: append([]uint64(nil), oh.Buckets...),
+				Count:   oh.Count,
+				Sum:     oh.Sum,
+			}
+			continue
+		}
+		if len(sh.Bounds) == len(oh.Bounds) && len(sh.Buckets) == len(oh.Buckets) {
+			same := true
+			for i := range sh.Bounds {
+				if sh.Bounds[i] != oh.Bounds[i] {
+					same = false
+					break
+				}
+			}
+			if same {
+				for i := range sh.Buckets {
+					sh.Buckets[i] += oh.Buckets[i]
+				}
+			}
+		}
+		sh.Count += oh.Count
+		sh.Sum += oh.Sum
+		s.Histograms[name] = sh
+	}
+}
+
+// sortedKeys returns map keys in sorted order for deterministic export.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// WriteJSON renders the snapshot as indented JSON with sorted keys.
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	var b []byte
+	b = append(b, "{\n  \"counters\": {"...)
+	for i, k := range sortedKeys(s.Counters) {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = append(b, "\n    "...)
+		b = strconv.AppendQuote(b, k)
+		b = append(b, ": "...)
+		b = strconv.AppendUint(b, s.Counters[k], 10)
+	}
+	b = append(b, "\n  },\n  \"gauges\": {"...)
+	for i, k := range sortedKeys(s.Gauges) {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = append(b, "\n    "...)
+		b = strconv.AppendQuote(b, k)
+		b = append(b, ": "...)
+		b = appendFloat(b, s.Gauges[k])
+	}
+	b = append(b, "\n  },\n  \"histograms\": {"...)
+	for i, k := range sortedKeys(s.Histograms) {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		h := s.Histograms[k]
+		b = append(b, "\n    "...)
+		b = strconv.AppendQuote(b, k)
+		b = append(b, ": {\"bounds\": ["...)
+		for j, bd := range h.Bounds {
+			if j > 0 {
+				b = append(b, ',')
+			}
+			b = appendFloat(b, bd)
+		}
+		b = append(b, "], \"buckets\": ["...)
+		for j, bk := range h.Buckets {
+			if j > 0 {
+				b = append(b, ',')
+			}
+			b = strconv.AppendUint(b, bk, 10)
+		}
+		b = append(b, "], \"count\": "...)
+		b = strconv.AppendUint(b, h.Count, 10)
+		b = append(b, ", \"sum\": "...)
+		b = appendFloat(b, h.Sum)
+		b = append(b, '}')
+	}
+	b = append(b, "\n  }\n}\n"...)
+	_, err := w.Write(b)
+	return err
+}
+
+// WriteCSV renders the snapshot as metric,kind,value rows (histograms
+// export their count, sum and mean).
+func (s Snapshot) WriteCSV(w io.Writer) error {
+	if _, err := io.WriteString(w, "metric,kind,value\n"); err != nil {
+		return err
+	}
+	for _, k := range sortedKeys(s.Counters) {
+		if _, err := fmt.Fprintf(w, "%s,counter,%d\n", csvQuote(k), s.Counters[k]); err != nil {
+			return err
+		}
+	}
+	for _, k := range sortedKeys(s.Gauges) {
+		if _, err := fmt.Fprintf(w, "%s,gauge,%g\n", csvQuote(k), s.Gauges[k]); err != nil {
+			return err
+		}
+	}
+	for _, k := range sortedKeys(s.Histograms) {
+		h := s.Histograms[k]
+		if _, err := fmt.Fprintf(w, "%s.count,histogram,%d\n%s.sum,histogram,%g\n%s.mean,histogram,%g\n",
+			csvQuote(k), h.Count, csvQuote(k), h.Sum, csvQuote(k), h.Mean()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// csvQuote quotes a CSV field only when it needs it.
+func csvQuote(s string) string {
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case ',', '"', '\n', '\r':
+			return strconv.Quote(s)
+		}
+	}
+	return s
+}
+
+// appendFloat renders a float compactly, mapping non-finite values (invalid
+// JSON) to 0.
+func appendFloat(b []byte, v float64) []byte {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		v = 0
+	}
+	return strconv.AppendFloat(b, v, 'g', -1, 64)
+}

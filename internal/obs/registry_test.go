@@ -1,0 +1,241 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestCounterNilSafe(t *testing.T) {
+	var c *Counter
+	c.Add(3)
+	c.Inc()
+	c.Store(7)
+	if c.Value() != 0 {
+		t.Fatal("nil counter has a value")
+	}
+	var g *Gauge
+	g.Set(1.5)
+	if g.Value() != 0 {
+		t.Fatal("nil gauge has a value")
+	}
+	var h *Histogram
+	h.Observe(2) // must not panic
+}
+
+func TestRegistryGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("a")
+	c.Add(2)
+	if r.Counter("a") != c {
+		t.Fatal("second Counter(a) returned a different handle")
+	}
+	if got := r.Counter("a").Value(); got != 2 {
+		t.Fatalf("counter value %d", got)
+	}
+	g := r.Gauge("b")
+	g.Set(3.5)
+	if r.Gauge("b").Value() != 3.5 {
+		t.Fatal("gauge lookup")
+	}
+	h := r.Histogram("h", []float64{1, 2})
+	// Later calls ignore bounds and return the same histogram.
+	if r.Histogram("h", []float64{9}) != h {
+		t.Fatal("second Histogram(h) returned a different handle")
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	// Bounds are sorted on creation; observations land in the first bucket
+	// whose upper bound >= v, with one overflow bucket.
+	h := newHistogram([]float64{10, 1, 5})
+	for _, v := range []float64{0.5, 1, 1.5, 5, 7, 10, 11, 100} {
+		h.Observe(v)
+	}
+	s := snapshotOf(h)
+	if want := []float64{1, 5, 10}; !equalF(s.Bounds, want) {
+		t.Fatalf("bounds %v", s.Bounds)
+	}
+	// <=1: 0.5, 1 | <=5: 1.5, 5 | <=10: 7, 10 | overflow: 11, 100
+	if want := []uint64{2, 2, 2, 2}; !equalU(s.Buckets, want) {
+		t.Fatalf("buckets %v", s.Buckets)
+	}
+	if s.Count != 8 {
+		t.Fatalf("count %d", s.Count)
+	}
+	if s.Sum != 0.5+1+1.5+5+7+10+11+100 {
+		t.Fatalf("sum %f", s.Sum)
+	}
+	if got, want := s.Mean(), s.Sum/8; got != want {
+		t.Fatalf("mean %f want %f", got, want)
+	}
+	if (HistogramSnapshot{}).Mean() != 0 {
+		t.Fatal("empty histogram mean")
+	}
+}
+
+func snapshotOf(h *Histogram) HistogramSnapshot {
+	r := NewRegistry()
+	r.mu.Lock()
+	r.histograms["x"] = h
+	r.mu.Unlock()
+	return r.Snapshot().Histograms["x"]
+}
+
+func equalF(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func equalU(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestSnapshotIsACopy(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c").Add(1)
+	s := r.Snapshot()
+	r.Counter("c").Add(10)
+	if s.Counters["c"] != 1 {
+		t.Fatal("snapshot tracked later updates")
+	}
+}
+
+func TestSnapshotMerge(t *testing.T) {
+	a := NewRegistry()
+	a.Counter("shared").Add(3)
+	a.Counter("only-a").Add(1)
+	a.Gauge("g").Set(1)
+	a.Histogram("h", []float64{1, 2}).Observe(0.5)
+	b := NewRegistry()
+	b.Counter("shared").Add(4)
+	b.Counter("only-b").Add(2)
+	b.Gauge("g").Set(9)
+	b.Histogram("h", []float64{1, 2}).Observe(1.5)
+	b.Histogram("mismatch", []float64{7}).Observe(3)
+
+	s := a.Snapshot()
+	s.Merge(b.Snapshot())
+
+	if s.Counters["shared"] != 7 || s.Counters["only-a"] != 1 || s.Counters["only-b"] != 2 {
+		t.Fatalf("merged counters %v", s.Counters)
+	}
+	// Gauges are instantaneous: last writer wins.
+	if s.Gauges["g"] != 9 {
+		t.Fatalf("merged gauge %v", s.Gauges["g"])
+	}
+	h := s.Histograms["h"]
+	if h.Count != 2 || h.Sum != 2.0 {
+		t.Fatalf("merged histogram %+v", h)
+	}
+	if want := []uint64{1, 1, 0}; !equalU(h.Buckets, want) {
+		t.Fatalf("merged buckets %v", h.Buckets)
+	}
+	// Histogram absent from the target is copied in.
+	if s.Histograms["mismatch"].Count != 1 {
+		t.Fatal("absent histogram not copied")
+	}
+
+	// Mismatched bounds fold only count and sum, keeping the target's
+	// buckets.
+	c := NewRegistry()
+	c.Histogram("h", []float64{100}).Observe(50)
+	s.Merge(c.Snapshot())
+	h = s.Histograms["h"]
+	if h.Count != 3 || h.Sum != 52.0 {
+		t.Fatalf("mismatched merge count/sum %+v", h)
+	}
+	if want := []uint64{1, 1, 0}; !equalU(h.Buckets, want) {
+		t.Fatalf("mismatched merge changed buckets %v", h.Buckets)
+	}
+
+	// Merge into a zero Snapshot allocates its maps.
+	var zero Snapshot
+	zero.Merge(s)
+	if zero.Counters["shared"] != 7 {
+		t.Fatal("merge into zero snapshot")
+	}
+}
+
+func TestSnapshotWriteJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("pipeline.cycles").Add(100)
+	r.Gauge("ipc").Set(1.25)
+	r.Histogram("occ", []float64{1, 2}).Observe(1.5)
+	var buf bytes.Buffer
+	if err := r.Snapshot().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var got Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatalf("WriteJSON produced invalid JSON: %v\n%s", err, buf.String())
+	}
+	if got.Counters["pipeline.cycles"] != 100 || got.Gauges["ipc"] != 1.25 {
+		t.Fatalf("round trip: %+v", got)
+	}
+	h := got.Histograms["occ"]
+	if h.Count != 1 || h.Sum != 1.5 || !equalU(h.Buckets, []uint64{0, 1, 0}) {
+		t.Fatalf("round-tripped histogram %+v", h)
+	}
+}
+
+func TestSnapshotWriteCSV(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c,tricky").Add(5)
+	r.Gauge("g").Set(0.5)
+	r.Histogram("h", []float64{1}).Observe(2)
+	var buf bytes.Buffer
+	if err := r.Snapshot().WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"metric,kind,value\n",
+		"\"c,tricky\",counter,5\n",
+		"g,gauge,0.5\n",
+		"h.count,histogram,1\n",
+		"h.sum,histogram,2\n",
+		"h.mean,histogram,2\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("CSV missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRegistryConcurrentUse(t *testing.T) {
+	r := NewRegistry()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 1000; i++ {
+			r.Counter("c").Inc()
+			r.Gauge("g").Set(float64(i))
+			r.Histogram("h", []float64{10, 100}).Observe(float64(i % 150))
+		}
+	}()
+	for i := 0; i < 100; i++ {
+		_ = r.Snapshot()
+	}
+	<-done
+	s := r.Snapshot()
+	if s.Counters["c"] != 1000 || s.Histograms["h"].Count != 1000 {
+		t.Fatalf("final snapshot %v", s.Counters)
+	}
+}

@@ -1,0 +1,62 @@
+package obs
+
+import (
+	"io"
+	"strconv"
+)
+
+// SeriesRow is one probe sample of a time series.
+type SeriesRow struct {
+	Cycle        uint64
+	Instructions uint64
+	Active       int
+	IPC          float64 // cumulative IPC at the sample
+	IQOcc        float64
+	LinkUtil     float64
+	BankQueue    float64
+}
+
+// TimeSeries accumulates probe samples for CSV export (the per-figure
+// time-series traces the experiment drivers write under results/).
+type TimeSeries struct {
+	rows []SeriesRow
+}
+
+// Append records one sample.
+func (ts *TimeSeries) Append(row SeriesRow) {
+	if ts == nil {
+		return
+	}
+	ts.rows = append(ts.rows, row)
+}
+
+// Rows returns the accumulated samples in order.
+func (ts *TimeSeries) Rows() []SeriesRow {
+	if ts == nil {
+		return nil
+	}
+	return ts.rows
+}
+
+// WriteCSV renders the series with a header row.
+func (ts *TimeSeries) WriteCSV(w io.Writer) error {
+	b := []byte("cycle,instructions,active_clusters,ipc,iq_occupancy,link_utilization,bank_queue\n")
+	for _, r := range ts.Rows() {
+		b = strconv.AppendUint(b, r.Cycle, 10)
+		b = append(b, ',')
+		b = strconv.AppendUint(b, r.Instructions, 10)
+		b = append(b, ',')
+		b = strconv.AppendInt(b, int64(r.Active), 10)
+		b = append(b, ',')
+		b = strconv.AppendFloat(b, r.IPC, 'f', 4, 64)
+		b = append(b, ',')
+		b = strconv.AppendFloat(b, r.IQOcc, 'f', 2, 64)
+		b = append(b, ',')
+		b = strconv.AppendFloat(b, r.LinkUtil, 'f', 4, 64)
+		b = append(b, ',')
+		b = strconv.AppendFloat(b, r.BankQueue, 'f', 2, 64)
+		b = append(b, '\n')
+	}
+	_, err := w.Write(b)
+	return err
+}

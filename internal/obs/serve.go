@@ -1,0 +1,48 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+)
+
+// publishOnce guards the process-global expvar name (expvar.Publish panics
+// on duplicates; only the first served registry owns it).
+var publishOnce sync.Once
+
+// Serve exposes live snapshots of the registry over HTTP on addr:
+//
+//	/metrics      JSON snapshot (sorted keys)
+//	/metrics.csv  CSV snapshot
+//	/debug/vars   standard expvar output, including a "clustersim" var
+//	              holding the same snapshot
+//
+// It returns once the listener is bound, so callers can start a long
+// simulation immediately after; the registry's atomic metrics make
+// concurrent reads safe while the simulation writes. It reports the bound
+// address (resolving a ":0" port request) and a close function that shuts
+// the listener down.
+func Serve(addr string, r *Registry) (bound string, close func() error, err error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	publishOnce.Do(func() {
+		expvar.Publish("clustersim", expvar.Func(func() any { return r.Snapshot() }))
+	})
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		r.Snapshot().WriteJSON(w)
+	})
+	mux.HandleFunc("/metrics.csv", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/csv")
+		r.Snapshot().WriteCSV(w)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	srv := &http.Server{Handler: mux}
+	go srv.Serve(ln)
+	return ln.Addr().String(), ln.Close, nil
+}

@@ -1,0 +1,376 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"strconv"
+)
+
+// Kind classifies a trace event.
+type Kind uint8
+
+// Event kinds.
+const (
+	// KindDecision is a controller decision: the policy chose (or
+	// re-affirmed after measuring) an active-cluster count. Trigger
+	// carries the reason.
+	KindDecision Kind = iota
+	// KindInterval marks an interval boundary of an interval-based
+	// controller, with the interval's measurements.
+	KindInterval
+	// KindRedirect is a front-end redirect (committed mispredicted
+	// control transfer).
+	KindRedirect
+	// KindReconfig is an applied reconfiguration: the active-cluster
+	// count changed, after a drain+flush under the decentralized cache.
+	KindReconfig
+	// KindSample is a cycle-sampled probe reading.
+	KindSample
+)
+
+// String returns the event kind's wire name.
+func (k Kind) String() string {
+	switch k {
+	case KindDecision:
+		return "decision"
+	case KindInterval:
+		return "interval"
+	case KindRedirect:
+		return "redirect"
+	case KindReconfig:
+		return "reconfig"
+	case KindSample:
+		return "sample"
+	}
+	return "unknown"
+}
+
+// Event is one structured trace record. It is a flat value type so sinks
+// can buffer it without allocation; unused fields stay zero and are omitted
+// from serialized forms.
+type Event struct {
+	// Cycle is the simulation cycle the event occurred at.
+	Cycle uint64
+	// Kind classifies the event.
+	Kind Kind
+	// Policy is the controller name (decision/interval/reconfig events).
+	Policy string
+	// Trigger is the reason for a decision or reconfiguration, e.g.
+	// "phase-change", "explore-step", "distant-ilp-low", "table-advice".
+	Trigger string
+	// OldActive and NewActive are the active-cluster counts around a
+	// decision or reconfiguration (equal when the decision re-affirmed).
+	OldActive, NewActive int
+	// IPC is the measured IPC behind a decision or interval boundary.
+	IPC float64
+	// DistantFrac is the measured distant-ILP fraction (distant commits
+	// per committed instruction in the measured window).
+	DistantFrac float64
+	// Interval is the controller's interval length in instructions.
+	Interval uint64
+	// Seq and PC identify the instruction behind a redirect or
+	// fine-grained decision.
+	Seq, PC uint64
+	// Writebacks and DrainCycles describe a decentralized
+	// reconfiguration's cache flush.
+	Writebacks, DrainCycles uint64
+	// IQOcc, LinkUtil and BankQueue are the probe readings of a sample
+	// event: total issue-queue occupancy, fraction of link-cycles
+	// reserved, and mean L1 bank-port backlog.
+	IQOcc, LinkUtil, BankQueue float64
+	// Active is the active-cluster count at a sample.
+	Active int
+}
+
+// Tracer consumes trace events. Implementations are sinks; they are not
+// required to be safe for concurrent use (a simulation owns its tracer).
+type Tracer interface {
+	// Emit records one event. The pointee is only valid for the call.
+	Emit(ev *Event)
+}
+
+// ---------------------------------------------------------------- ring --
+
+// RingSink keeps the last N events in memory. The zero value is unusable;
+// use NewRingSink.
+type RingSink struct {
+	buf  []Event
+	next int
+	full bool
+}
+
+// NewRingSink returns a ring buffer holding the most recent n events.
+func NewRingSink(n int) *RingSink {
+	if n < 1 {
+		n = 1
+	}
+	return &RingSink{buf: make([]Event, n)}
+}
+
+// Emit implements Tracer.
+func (r *RingSink) Emit(ev *Event) {
+	r.buf[r.next] = *ev
+	r.next++
+	if r.next == len(r.buf) {
+		r.next = 0
+		r.full = true
+	}
+}
+
+// Events returns the buffered events oldest-first.
+func (r *RingSink) Events() []Event {
+	if !r.full {
+		return append([]Event(nil), r.buf[:r.next]...)
+	}
+	out := make([]Event, 0, len(r.buf))
+	out = append(out, r.buf[r.next:]...)
+	return append(out, r.buf[:r.next]...)
+}
+
+// Len returns the number of buffered events.
+func (r *RingSink) Len() int {
+	if r.full {
+		return len(r.buf)
+	}
+	return r.next
+}
+
+// --------------------------------------------------------------- jsonl --
+
+// JSONLSink writes one JSON object per event to a buffered writer. Close
+// flushes; events are hand-serialized into a reused scratch buffer so the
+// enabled-tracing path stays allocation-light.
+type JSONLSink struct {
+	w       *bufio.Writer
+	c       io.Closer
+	scratch []byte
+}
+
+// NewJSONLSink wraps w; if w is also an io.Closer, Close closes it.
+func NewJSONLSink(w io.Writer) *JSONLSink {
+	s := &JSONLSink{w: bufio.NewWriterSize(w, 64<<10)}
+	if c, ok := w.(io.Closer); ok {
+		s.c = c
+	}
+	return s
+}
+
+// Emit implements Tracer.
+func (s *JSONLSink) Emit(ev *Event) {
+	b := s.scratch[:0]
+	b = appendEventJSON(b, ev)
+	b = append(b, '\n')
+	s.scratch = b
+	s.w.Write(b)
+}
+
+// Close flushes buffered output and closes the underlying writer if it is
+// closable.
+func (s *JSONLSink) Close() error {
+	err := s.w.Flush()
+	if s.c != nil {
+		if cerr := s.c.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+// appendEventJSON serializes ev compactly, omitting zero fields beyond the
+// cycle and kind.
+func appendEventJSON(b []byte, ev *Event) []byte {
+	b = append(b, `{"cycle":`...)
+	b = strconv.AppendUint(b, ev.Cycle, 10)
+	b = append(b, `,"kind":"`...)
+	b = append(b, ev.Kind.String()...)
+	b = append(b, '"')
+	if ev.Policy != "" {
+		b = append(b, `,"policy":`...)
+		b = strconv.AppendQuote(b, ev.Policy)
+	}
+	if ev.Trigger != "" {
+		b = append(b, `,"trigger":`...)
+		b = strconv.AppendQuote(b, ev.Trigger)
+	}
+	if ev.OldActive != 0 || ev.NewActive != 0 {
+		b = append(b, `,"old_active":`...)
+		b = strconv.AppendInt(b, int64(ev.OldActive), 10)
+		b = append(b, `,"new_active":`...)
+		b = strconv.AppendInt(b, int64(ev.NewActive), 10)
+	}
+	if ev.IPC != 0 {
+		b = append(b, `,"ipc":`...)
+		b = appendFloat(b, ev.IPC)
+	}
+	if ev.DistantFrac != 0 {
+		b = append(b, `,"distant_frac":`...)
+		b = appendFloat(b, ev.DistantFrac)
+	}
+	if ev.Interval != 0 {
+		b = append(b, `,"interval":`...)
+		b = strconv.AppendUint(b, ev.Interval, 10)
+	}
+	if ev.Seq != 0 {
+		b = append(b, `,"seq":`...)
+		b = strconv.AppendUint(b, ev.Seq, 10)
+	}
+	if ev.PC != 0 {
+		b = append(b, `,"pc":`...)
+		b = strconv.AppendUint(b, ev.PC, 10)
+	}
+	if ev.Writebacks != 0 {
+		b = append(b, `,"writebacks":`...)
+		b = strconv.AppendUint(b, ev.Writebacks, 10)
+	}
+	if ev.DrainCycles != 0 {
+		b = append(b, `,"drain_cycles":`...)
+		b = strconv.AppendUint(b, ev.DrainCycles, 10)
+	}
+	if ev.Kind == KindSample {
+		b = append(b, `,"iq_occ":`...)
+		b = appendFloat(b, ev.IQOcc)
+		b = append(b, `,"link_util":`...)
+		b = appendFloat(b, ev.LinkUtil)
+		b = append(b, `,"bank_queue":`...)
+		b = appendFloat(b, ev.BankQueue)
+		b = append(b, `,"active":`...)
+		b = strconv.AppendInt(b, int64(ev.Active), 10)
+	}
+	return append(b, '}')
+}
+
+// -------------------------------------------------------------- chrome --
+
+// ChromeSink writes the Chrome trace_event JSON array format, loadable in
+// chrome://tracing or https://ui.perfetto.dev. Simulation cycles map to
+// microseconds. Decisions and redirects become instant events, drains
+// become complete ("X") slices, and probe samples become counter ("C")
+// tracks so cluster count, queue occupancy and link utilization render as
+// graphs over the run.
+type ChromeSink struct {
+	w       *bufio.Writer
+	c       io.Closer
+	scratch []byte
+	first   bool
+}
+
+// NewChromeSink wraps w; if w is also an io.Closer, Close closes it.
+func NewChromeSink(w io.Writer) *ChromeSink {
+	s := &ChromeSink{w: bufio.NewWriterSize(w, 64<<10), first: true}
+	s.w.WriteString("[\n")
+	if c, ok := w.(io.Closer); ok {
+		s.c = c
+	}
+	return s
+}
+
+// Emit implements Tracer.
+func (s *ChromeSink) Emit(ev *Event) {
+	b := s.scratch[:0]
+	switch ev.Kind {
+	case KindReconfig:
+		start := ev.Cycle
+		if ev.DrainCycles > 0 && ev.DrainCycles < start {
+			start -= ev.DrainCycles
+		}
+		b = s.open(b, "reconfig", "X", start)
+		if ev.DrainCycles > 0 {
+			b = append(b, `,"dur":`...)
+			b = strconv.AppendUint(b, ev.DrainCycles, 10)
+		} else {
+			b = append(b, `,"dur":1`...)
+		}
+		b = append(b, `,"args":{`...)
+		b = s.commonArgs(b, ev)
+		b = append(b, `,"writebacks":`...)
+		b = strconv.AppendUint(b, ev.Writebacks, 10)
+		b = append(b, "}}"...)
+	case KindSample:
+		// One counter event per probe track.
+		b = s.counter(b, "active_clusters", ev.Cycle, float64(ev.Active))
+		b = s.counter(b, "iq_occupancy", ev.Cycle, ev.IQOcc)
+		b = s.counter(b, "link_utilization", ev.Cycle, ev.LinkUtil)
+		b = s.counter(b, "bank_queue", ev.Cycle, ev.BankQueue)
+		s.scratch = b
+		s.w.Write(b)
+		return
+	default:
+		b = s.open(b, ev.Kind.String(), "i", ev.Cycle)
+		b = append(b, `,"s":"g","args":{`...)
+		b = s.commonArgs(b, ev)
+		if ev.IPC != 0 {
+			b = append(b, `,"ipc":`...)
+			b = appendFloat(b, ev.IPC)
+		}
+		if ev.DistantFrac != 0 {
+			b = append(b, `,"distant_frac":`...)
+			b = appendFloat(b, ev.DistantFrac)
+		}
+		if ev.Interval != 0 {
+			b = append(b, `,"interval":`...)
+			b = strconv.AppendUint(b, ev.Interval, 10)
+		}
+		if ev.PC != 0 {
+			b = append(b, `,"pc":`...)
+			b = strconv.AppendUint(b, ev.PC, 10)
+		}
+		b = append(b, "}}"...)
+	}
+	s.scratch = b
+	s.w.Write(b)
+}
+
+// open starts one trace_event record through the shared preamble.
+func (s *ChromeSink) open(b []byte, name, ph string, ts uint64) []byte {
+	if !s.first {
+		b = append(b, ",\n"...)
+	}
+	s.first = false
+	b = append(b, `{"name":`...)
+	b = strconv.AppendQuote(b, name)
+	b = append(b, `,"ph":"`...)
+	b = append(b, ph...)
+	b = append(b, `","ts":`...)
+	b = strconv.AppendUint(b, ts, 10)
+	b = append(b, `,"pid":1,"tid":1`...)
+	return b
+}
+
+func (s *ChromeSink) counter(b []byte, name string, ts uint64, v float64) []byte {
+	b = s.open(b, name, "C", ts)
+	b = append(b, `,"args":{"value":`...)
+	b = appendFloat(b, v)
+	b = append(b, "}}"...)
+	return b
+}
+
+func (s *ChromeSink) commonArgs(b []byte, ev *Event) []byte {
+	b = append(b, `"policy":`...)
+	b = strconv.AppendQuote(b, ev.Policy)
+	b = append(b, `,"trigger":`...)
+	b = strconv.AppendQuote(b, ev.Trigger)
+	b = append(b, `,"old_active":`...)
+	b = strconv.AppendInt(b, int64(ev.OldActive), 10)
+	b = append(b, `,"new_active":`...)
+	b = strconv.AppendInt(b, int64(ev.NewActive), 10)
+	return b
+}
+
+// Close terminates the JSON array, flushes, and closes the underlying
+// writer if it is closable.
+func (s *ChromeSink) Close() error {
+	s.w.WriteString("\n]\n")
+	err := s.w.Flush()
+	if s.c != nil {
+		if cerr := s.c.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+var (
+	_ Tracer = (*RingSink)(nil)
+	_ Tracer = (*JSONLSink)(nil)
+	_ Tracer = (*ChromeSink)(nil)
+)

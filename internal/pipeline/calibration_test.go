@@ -1,7 +1,6 @@
 package pipeline
 
 import (
-	"fmt"
 	"testing"
 
 	"clustersim/internal/workload"
@@ -10,8 +9,8 @@ import (
 // TestCalibrationSweep checks every synthetic benchmark against the paper
 // characteristics it substitutes for (workload.PaperData), with tolerances
 // wide enough to survive re-tuning but tight enough to catch a benchmark
-// drifting out of its class. It also prints the calibration table used
-// while tuning.
+// drifting out of its class. It also logs the calibration table used
+// while tuning (visible with -v).
 func TestCalibrationSweep(t *testing.T) {
 	if testing.Short() {
 		t.Skip("calibration sweep is slow")
@@ -40,7 +39,7 @@ func TestCalibrationSweep(t *testing.T) {
 
 		pm := MustNew(MonolithicConfig(), workload.MustNew(name, 1), nil)
 		rm := pm.Run(w)
-		fmt.Printf("%-8s 4:%.2f 16:%.2f mono:%.2f(want %.2f) mi:%.0f(want %.0f)\n",
+		t.Logf("%-8s 4:%.2f 16:%.2f mono:%.2f(want %.2f) mi:%.0f(want %.0f)",
 			name, i4, i16, rm.IPC(), pd.BaseIPC, rm.MispredictInterval(), pd.MispredictInterval)
 
 		if ratio := rm.IPC() / pd.BaseIPC; ratio < 0.5 || ratio > 1.9 {

@@ -21,6 +21,7 @@ import (
 
 	"clustersim/internal/bpred"
 	"clustersim/internal/mem"
+	"clustersim/internal/obs"
 )
 
 // MaxClusters is the largest cluster count the model supports (the paper's
@@ -149,6 +150,12 @@ type Config struct {
 	// BranchPred and BankPred override predictor table sizes.
 	BranchPred *bpred.Config
 	BankPred   *bpred.BankConfig
+
+	// Observer attaches the observability layer (metrics registry, trace
+	// sinks and cycle-sampled probes) to the processor and, when the
+	// Controller supports it, to the controller's decision reporting.
+	// Nil disables all instrumentation at zero hot-path cost.
+	Observer *obs.Observer
 }
 
 // DefaultConfig returns the paper's Table 1 16-cluster machine with the
@@ -268,4 +275,11 @@ type Controller interface {
 	// OnCommit observes one committed instruction and returns the
 	// desired number of active clusters, or 0 for no change.
 	OnCommit(ev CommitEvent) int
+}
+
+// ObserverAware is optionally implemented by Controllers that report their
+// reconfiguration decisions (with trigger reasons and measurements) to an
+// observability layer. New attaches Config.Observer after Reset.
+type ObserverAware interface {
+	AttachObserver(*obs.Observer)
 }

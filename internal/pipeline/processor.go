@@ -7,6 +7,7 @@ import (
 	"clustersim/internal/interconnect"
 	"clustersim/internal/isa"
 	"clustersim/internal/mem"
+	"clustersim/internal/obs"
 	"clustersim/internal/workload"
 )
 
@@ -63,6 +64,13 @@ type Processor struct {
 
 	lastCommitCycle uint64
 	stats           Result
+
+	// Observability. obs is nil when disabled, making every hook a single
+	// pointer test; nextSample is the next probe cycle (noSample when
+	// sampling is off).
+	obs        *obs.Observer
+	oh         obsHandles
+	nextSample uint64
 }
 
 // New builds a Processor. A nil Controller leaves the active-cluster count
@@ -150,6 +158,13 @@ func New(cfg Config, gen workload.Generator, ctrl Controller) (*Processor, error
 	if ctrl != nil {
 		ctrl.Reset(cfg.Clusters)
 	}
+	p.initObs(cfg.Observer)
+	if p.obs != nil && ctrl != nil {
+		// Attach after Reset: controllers re-zero their state on Reset.
+		if oa, ok := ctrl.(ObserverAware); ok {
+			oa.AttachObserver(p.obs)
+		}
+	}
 	return p, nil
 }
 
@@ -208,6 +223,9 @@ func (p *Processor) step() {
 	p.dispatchStage()
 	p.fetchStage()
 	p.stats.ActiveSum += uint64(p.active)
+	if p.cycle >= p.nextSample {
+		p.observeSample()
+	}
 	if p.cycle-p.lastCommitCycle > 500_000 {
 		panic(fmt.Sprintf("pipeline: no commit in 500K cycles at cycle %d (head=%d tail=%d fetch=%d blocked=%d draining=%t)",
 			p.cycle, p.headSeq, p.tailSeq, p.fetchSeq, p.fetchBlockedSeq, p.draining))
@@ -236,6 +254,9 @@ func (p *Processor) Stats() Result {
 	}
 	if p.dtlb != nil {
 		r.TLBMisses = p.dtlb.Misses()
+	}
+	if p.obs != nil && p.obs.Registry != nil {
+		p.syncObsCounters()
 	}
 	return r
 }
@@ -299,6 +320,9 @@ func (p *Processor) commitStage() {
 		}
 		if u.mispredicted {
 			p.stats.Redirects++
+			if p.obs != nil {
+				p.observeRedirect(now, u.seq, u.in.PC)
+			}
 		}
 		cls := u.in.Class
 		ev := CommitEvent{
@@ -349,8 +373,12 @@ func (p *Processor) requestActive(want int) {
 	}
 	if p.cfg.Cache == CentralizedCache {
 		if want != p.active {
+			old := p.active
 			p.active = want
 			p.stats.Reconfigs++
+			if p.obs != nil {
+				p.observeReconfig(old, want, 0, 0)
+			}
 		}
 		return
 	}
@@ -369,12 +397,16 @@ func (p *Processor) reconfigStage() {
 	if !p.draining || p.headSeq != p.tailSeq {
 		return
 	}
-	done, _ := p.memsys.Flush(p.cycle)
+	done, writebacks := p.memsys.Flush(p.cycle)
+	old := p.active
 	p.memsys.SetActive(p.pendingActive)
 	p.active = p.pendingActive
 	p.resumeAt = done
 	p.draining = false
 	p.stats.Reconfigs++
+	if p.obs != nil {
+		p.observeReconfig(old, p.active, writebacks, done-p.cycle)
+	}
 }
 
 // ---------------------------------------------------------------- issue --

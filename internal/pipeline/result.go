@@ -85,6 +85,25 @@ func (r Result) AvgRegCommLatency() float64 {
 	return float64(r.RegLatencySum) / float64(r.RegTransfers)
 }
 
+// DistantILPFraction returns the fraction of committed instructions that
+// issued at least DistantDepth behind the ROB head — the §4.3 degree of
+// distant ILP.
+func (r Result) DistantILPFraction() float64 {
+	if r.Instructions == 0 {
+		return 0
+	}
+	return float64(r.DistantCommitted) / float64(r.Instructions)
+}
+
+// ReconfigsPerMInstr returns applied reconfigurations per million committed
+// instructions — the §4.2 reconfiguration-rate every experiment reports.
+func (r Result) ReconfigsPerMInstr() float64 {
+	if r.Instructions == 0 {
+		return 0
+	}
+	return 1e6 * float64(r.Reconfigs) / float64(r.Instructions)
+}
+
 // MispredictInterval returns committed instructions per front-end redirect.
 func (r Result) MispredictInterval() float64 {
 	if r.Redirects == 0 {

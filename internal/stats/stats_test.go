@@ -107,6 +107,55 @@ func TestAggregatePreservesTotals(t *testing.T) {
 	}
 }
 
+func TestAggregateEdgeCases(t *testing.T) {
+	trace := []Interval{mkInterval(10, 5, 1, 2), mkInterval(20, 10, 2, 4)}
+	// k larger than the trace drops everything.
+	if got := Aggregate(trace, 3); len(got) != 0 {
+		t.Fatalf("k>len produced %d groups", len(got))
+	}
+	// k exactly len folds to one group.
+	if got := Aggregate(trace, 2); len(got) != 1 || got[0] != mkInterval(30, 15, 3, 6) {
+		t.Fatalf("k=len: %+v", got)
+	}
+	// k<=0 behaves like k=1 (copy).
+	if got := Aggregate(trace, 0); len(got) != 2 || got[0] != trace[0] {
+		t.Fatalf("k=0: %+v", got)
+	}
+	if got := Aggregate(nil, 2); len(got) != 0 {
+		t.Fatalf("nil trace: %+v", got)
+	}
+}
+
+func TestRecorderDropsPartialInterval(t *testing.T) {
+	r := NewRecorder(0) // 0 selects the 10K default
+	if r.Base != 10_000 {
+		t.Fatalf("default base %d", r.Base)
+	}
+	r.Reset(16)
+	for i := 0; i < 25_000; i++ {
+		r.OnCommit(pipeline.CommitEvent{Cycle: uint64(i * 2)})
+	}
+	ivs := r.Intervals()
+	// 25K commits at base 10K: two whole intervals, the partial third
+	// dropped.
+	if len(ivs) != 2 {
+		t.Fatalf("got %d intervals", len(ivs))
+	}
+	for i, iv := range ivs {
+		if iv.Instructions != 10_000 {
+			t.Fatalf("interval %d: %d instructions", i, iv.Instructions)
+		}
+		if iv.Cycles == 0 {
+			t.Fatalf("interval %d: zero cycles", i)
+		}
+	}
+	// Reset clears the trace.
+	r.Reset(16)
+	if len(r.Intervals()) != 0 {
+		t.Fatal("Reset kept intervals")
+	}
+}
+
 func TestInstabilityUniformTraceIsStable(t *testing.T) {
 	trace := make([]Interval, 100)
 	for i := range trace {
