@@ -4,20 +4,29 @@
 //
 //	experiments -run all
 //	experiments -run fig3,fig5 -scale 0.5 -bench gzip,swim
+//	experiments -run all -parallel 8
 //
 // Each experiment prints an aligned table whose rows/series correspond to
 // the paper artifact named by its ID (see -list). EXPERIMENTS.md records
 // the paper-vs-measured comparison for a full -scale 1 run.
+//
+// Sweeps execute on a worker pool (-parallel, default GOMAXPROCS) behind a
+// content-addressed run cache shared by all experiments of one invocation;
+// results are bit-identical at any -parallel width. If any run fails, the
+// failed experiment prints no table (no partial CSVs), every failure is
+// reported at the end, and the command exits nonzero.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
 	"clustersim/internal/experiments"
+	"clustersim/internal/runner"
 )
 
 func main() {
@@ -29,6 +38,8 @@ func main() {
 	format := flag.String("format", "text", "output format: text | chart | csv")
 	obsDir := flag.String("obs", "", "write per-run time-series CSVs and metrics snapshots under this directory (e.g. results/obs)")
 	obsSample := flag.Uint64("obs-sample", 0, "probe sampling period in cycles for -obs (0 = 10K)")
+	parallel := flag.Int("parallel", 0, "sweep worker-pool width (0 = GOMAXPROCS)")
+	noCache := flag.Bool("no-cache", false, "disable the run cache (every sweep cell simulates)")
 	flag.Parse()
 
 	reg := experiments.Registry()
@@ -46,11 +57,21 @@ func main() {
 		ids = strings.Split(*runIDs, ",")
 	}
 
-	opts := experiments.Options{Seed: *seed, Scale: *scale, ObsDir: *obsDir, ObsSamplePeriod: *obsSample}
+	// One runner for the whole invocation: experiments share its worker
+	// pool and run cache, so configurations repeated between figures
+	// (e.g. the static baselines) simulate exactly once.
+	rn := runner.New(*parallel)
+	rn.DisableCache = *noCache
+	opts := experiments.Options{
+		Seed: *seed, Scale: *scale,
+		ObsDir: *obsDir, ObsSamplePeriod: *obsSample,
+		Parallel: *parallel, Runner: rn,
+	}
 	if *benches != "" {
 		opts.Benchmarks = strings.Split(*benches, ",")
 	}
 
+	var failed []string
 	for _, id := range ids {
 		id = strings.TrimSpace(id)
 		driver, ok := reg[id]
@@ -59,7 +80,13 @@ func main() {
 			os.Exit(2)
 		}
 		start := time.Now()
-		for _, table := range driver(opts) {
+		tables, err := driver(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s failed: %v\n", id, err)
+			failed = append(failed, id)
+			continue
+		}
+		for _, table := range tables {
 			switch *format {
 			case "chart":
 				fmt.Println(table.Chart())
@@ -73,4 +100,42 @@ func main() {
 			fmt.Printf("(%s completed in %.1fs)\n\n", id, time.Since(start).Seconds())
 		}
 	}
+
+	st := rn.Stats()
+	fmt.Fprintf(os.Stderr, "experiments: %d simulator runs, %d cache hits, %d deduped\n",
+		st.Runs, st.CacheHits, st.Deduped)
+	if *obsDir != "" {
+		writeAggregate(*obsDir, rn)
+	}
+	if len(failed) > 0 {
+		fmt.Fprintf(os.Stderr, "experiments: %d experiment(s) failed: %s\n",
+			len(failed), strings.Join(failed, ", "))
+		os.Exit(1)
+	}
+}
+
+// writeAggregate exports the merged metrics snapshot over every observed run
+// of the invocation.
+func writeAggregate(dir string, rn *runner.Runner) {
+	snap, runs := rn.AggregateSnapshot()
+	if runs == 0 {
+		return
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: obs dir: %v\n", err)
+		return
+	}
+	path := filepath.Join(dir, "aggregate.metrics.json")
+	f, err := os.Create(path)
+	if err == nil {
+		err = snap.WriteJSON(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: aggregate export: %v\n", err)
+		return
+	}
+	fmt.Fprintf(os.Stderr, "experiments: merged metrics of %d observed runs -> %s\n", runs, path)
 }

@@ -7,25 +7,53 @@
 //
 //	workloads                  # all nine benchmarks
 //	workloads -bench gzip -n 2000000
+//	workloads -parallel 4      # characterize benchmarks concurrently
 package main
 
 import (
 	"flag"
 	"fmt"
+	"os"
 	"strings"
 
 	"clustersim"
+	"clustersim/internal/runner"
 )
 
 func main() {
 	benches := flag.String("bench", "", "comma-separated benchmarks (default: all)")
 	n := flag.Uint64("n", 1_000_000, "instructions per benchmark")
 	seed := flag.Uint64("seed", 1, "workload seed")
+	parallel := flag.Int("parallel", 0, "worker-pool width (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	names := clustersim.Benchmarks()
 	if *benches != "" {
 		names = strings.Split(*benches, ",")
+	}
+
+	// Two runs per benchmark (monolithic and 16-cluster), submitted as
+	// one batch; rows print in order regardless of execution order.
+	var reqs []runner.Request
+	at := make(map[string]int, len(names))
+	for _, name := range names {
+		if _, ok := clustersim.Paper(name); !ok {
+			continue
+		}
+		at[name] = len(reqs)
+		reqs = append(reqs, runner.Request{
+			ID: "workloads-mono", Bench: name, Seed: *seed, Window: *n,
+			Config: clustersim.MonolithicConfig(),
+		})
+		reqs = append(reqs, runner.Request{
+			ID: "workloads-wide", Bench: name, Seed: *seed, Window: *n,
+			Config: clustersim.DefaultConfig(),
+		})
+	}
+	rs, err := runner.New(*parallel).RunAll(reqs)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "workloads: %v\n", err)
+		os.Exit(1)
 	}
 
 	fmt.Printf("%-8s %-11s %7s %7s %9s %9s %7s %7s %8s\n",
@@ -36,16 +64,8 @@ func main() {
 			fmt.Printf("%-8s unknown benchmark\n", name)
 			continue
 		}
-		mono, err := clustersim.Run(name, *seed, clustersim.MonolithicConfig(), nil, *n)
-		if err != nil {
-			fmt.Println(err)
-			return
-		}
-		wide, err := clustersim.Run(name, *seed, clustersim.DefaultConfig(), nil, *n)
-		if err != nil {
-			fmt.Println(err)
-			return
-		}
+		i := at[name]
+		mono, wide := rs[i], rs[i+1]
 		branches := float64(wide.Branch.Lookups) / float64(wide.Instructions)
 		mems := float64(wide.Mem.Loads+wide.Mem.Stores) / float64(wide.Instructions)
 		distant := float64(wide.DistantCommitted) / float64(wide.Instructions)

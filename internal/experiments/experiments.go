@@ -17,6 +17,7 @@ import (
 
 	"clustersim/internal/obs"
 	"clustersim/internal/pipeline"
+	"clustersim/internal/runner"
 	"clustersim/internal/workload"
 )
 
@@ -38,6 +39,15 @@ type Options struct {
 	// ObsSamplePeriod is the probe sampling period in cycles when ObsDir
 	// is set (0 = every 10K cycles).
 	ObsSamplePeriod uint64
+	// Parallel is the sweep worker-pool width (0 = GOMAXPROCS). Results
+	// are bit-identical at any width: every run is a shared-nothing
+	// simulator instance seeded from (benchmark, Seed) alone.
+	Parallel int
+	// Runner, when non-nil, executes the sweeps; sharing one Runner
+	// across experiments shares its content-addressed run cache, so
+	// configurations repeated between figures simulate once. Nil builds
+	// a private runner with Parallel workers per experiment.
+	Runner *runner.Runner
 }
 
 func (o Options) seed() uint64 {
@@ -174,31 +184,45 @@ func geomean(vs []float64) float64 {
 	return math.Exp(sum / float64(len(vs)))
 }
 
-// run simulates one benchmark under one controller for the experiment
-// named id. When Options.ObsDir is set, the run attaches an observability
-// registry plus cycle-sampled probes and writes "<id>-<bench>-<policy>"
-// time-series and metrics artifacts under that directory.
-func run(o Options, id, bench string, cfg pipeline.Config, ctrl pipeline.Controller, n uint64) pipeline.Result {
-	gen := workload.MustNew(bench, o.seed())
-	var ob *obs.Observer
+// sweeper returns the runner executing this experiment's sweeps.
+func (o Options) sweeper() *runner.Runner {
+	if o.Runner != nil {
+		return o.Runner
+	}
+	return runner.New(o.Parallel)
+}
+
+// request builds one sweep cell: benchmark bench under controller ctrl for
+// the experiment named id. When Options.ObsDir is set, the run carries its
+// own observability registry plus cycle-sampled probes and writes
+// "<id>-<bench>-<policy>" time-series and metrics artifacts under that
+// directory after it executes (such runs are never cache-elided).
+func (o Options) request(id, bench string, cfg pipeline.Config, ctrl pipeline.Controller, n uint64) runner.Request {
+	req := runner.Request{
+		ID:         id,
+		Bench:      bench,
+		Seed:       o.seed(),
+		Window:     n,
+		Config:     cfg,
+		Controller: ctrl,
+	}
 	if o.ObsDir != "" {
 		period := o.ObsSamplePeriod
 		if period == 0 {
 			period = 10_000
 		}
-		ob = &obs.Observer{
+		ob := &obs.Observer{
 			Registry:     obs.NewRegistry(),
 			SamplePeriod: period,
 			Series:       &obs.TimeSeries{},
 		}
-		cfg.Observer = ob
+		req.Config.Observer = ob
+		dir := o.ObsDir
+		req.PostRun = func(res pipeline.Result) {
+			writeObsArtifacts(dir, id, res, ob)
+		}
 	}
-	p := pipeline.MustNew(cfg, gen, ctrl)
-	res := p.Run(n)
-	if ob != nil {
-		writeObsArtifacts(o.ObsDir, id, res, ob)
-	}
-	return res
+	return req
 }
 
 // writeObsArtifacts exports one run's time series and metrics snapshot.
@@ -226,24 +250,36 @@ func writeObsArtifacts(dir, id string, res pipeline.Result, ob *obs.Observer) {
 	export(base+".metrics.json", func(f *os.File) error { return ob.Registry.Snapshot().WriteJSON(f) })
 }
 
-// Registry maps experiment IDs to their drivers.
-func Registry() map[string]func(Options) []*Table {
-	return map[string]func(Options) []*Table{
-		"params": func(o Options) []*Table { return []*Table{Params()} },
-		"table3": func(o Options) []*Table { return []*Table{Table3(o)} },
-		"fig3":   func(o Options) []*Table { return []*Table{Fig3(o)} },
-		"table4": func(o Options) []*Table { return []*Table{Table4(o)} },
-		"fig5":   func(o Options) []*Table { return []*Table{Fig5(o)} },
-		"fig6":   func(o Options) []*Table { return []*Table{Fig6(o)} },
-		"fig7":   func(o Options) []*Table { return []*Table{Fig7(o)} },
-		"fig8":   func(o Options) []*Table { return []*Table{Fig8(o)} },
-		"sens":   func(o Options) []*Table { return []*Table{Sensitivity(o)} },
-		"ablate": func(o Options) []*Table { return []*Table{Ablations(o)} },
+// one adapts a single-table driver to the registry signature.
+func one(f func(Options) (*Table, error)) func(Options) ([]*Table, error) {
+	return func(o Options) ([]*Table, error) {
+		t, err := f(o)
+		if err != nil {
+			return nil, err
+		}
+		return []*Table{t}, nil
+	}
+}
+
+// Registry maps experiment IDs to their drivers. A driver returns no tables
+// when any of its runs fail: partial artifacts are never emitted.
+func Registry() map[string]func(Options) ([]*Table, error) {
+	return map[string]func(Options) ([]*Table, error){
+		"params": one(func(o Options) (*Table, error) { return Params(), nil }),
+		"table3": one(Table3),
+		"fig3":   one(Fig3),
+		"table4": one(Table4),
+		"fig5":   one(Fig5),
+		"fig6":   one(Fig6),
+		"fig7":   one(Fig7),
+		"fig8":   one(Fig8),
+		"sens":   one(Sensitivity),
+		"ablate": one(Ablations),
 		// Extensions beyond the paper's figures: the §4.2 leakage
 		// argument quantified, and the §1/§8 multi-threaded
 		// partitioning proposal.
-		"ext-energy": func(o Options) []*Table { return []*Table{Energy(o)} },
-		"ext-smt":    func(o Options) []*Table { return []*Table{SMT(o)} },
+		"ext-energy": one(Energy),
+		"ext-smt":    one(SMT),
 	}
 }
 

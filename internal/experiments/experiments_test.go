@@ -3,6 +3,8 @@ package experiments
 import (
 	"strings"
 	"testing"
+
+	"clustersim/internal/runner"
 )
 
 // tinyOpts keeps experiment tests fast: two benchmarks, small windows.
@@ -88,7 +90,10 @@ func TestParams(t *testing.T) {
 }
 
 func TestTable3Tiny(t *testing.T) {
-	tb := Table3(tinyOpts())
+	tb, err := Table3(tinyOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(tb.Rows) != 2 {
 		t.Fatalf("%d rows", len(tb.Rows))
 	}
@@ -100,7 +105,10 @@ func TestTable3Tiny(t *testing.T) {
 }
 
 func TestFig3Tiny(t *testing.T) {
-	tb := Fig3(tinyOpts())
+	tb, err := Fig3(tinyOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
 	for _, r := range tb.Rows {
 		for i := 0; i < 4; i++ {
 			if r.Cells[i].Value <= 0 {
@@ -111,7 +119,10 @@ func TestFig3Tiny(t *testing.T) {
 }
 
 func TestTable4Tiny(t *testing.T) {
-	tb := Table4(tinyOpts())
+	tb, err := Table4(tinyOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
 	for _, r := range tb.Rows {
 		if r.Cells[0].Value < 10_000 {
 			t.Errorf("%s: min interval %f below base", r.Name, r.Cells[0].Value)
@@ -123,7 +134,10 @@ func TestTable4Tiny(t *testing.T) {
 }
 
 func TestFig5Tiny(t *testing.T) {
-	tb := Fig5(tinyOpts())
+	tb, err := Fig5(tinyOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
 	// 2 benchmarks + geomean row.
 	if len(tb.Rows) != 3 {
 		t.Fatalf("%d rows", len(tb.Rows))
@@ -143,8 +157,11 @@ func TestFig5Tiny(t *testing.T) {
 }
 
 func TestFig6Fig7Fig8Tiny(t *testing.T) {
-	for _, f := range []func(Options) *Table{Fig6, Fig7, Fig8} {
-		tb := f(tinyOpts())
+	for _, f := range []func(Options) (*Table, error){Fig6, Fig7, Fig8} {
+		tb, err := f(tinyOpts())
+		if err != nil {
+			t.Fatal(err)
+		}
 		if len(tb.Rows) < 3 {
 			t.Fatalf("%s: %d rows", tb.ID, len(tb.Rows))
 		}
@@ -161,14 +178,20 @@ func TestFig6Fig7Fig8Tiny(t *testing.T) {
 func TestSensitivityTiny(t *testing.T) {
 	o := tinyOpts()
 	o.Benchmarks = []string{"gzip"}
-	tb := Sensitivity(o)
+	tb, err := Sensitivity(o)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(tb.Rows) != 5 {
 		t.Fatalf("%d variants", len(tb.Rows))
 	}
 }
 
 func TestEnergyTiny(t *testing.T) {
-	tb := Energy(tinyOpts())
+	tb, err := Energy(tinyOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(tb.Rows) != 2 {
 		t.Fatalf("%d rows", len(tb.Rows))
 	}
@@ -185,7 +208,10 @@ func TestEnergyTiny(t *testing.T) {
 
 func TestSMTTiny(t *testing.T) {
 	o := tinyOpts()
-	tb := SMT(o)
+	tb, err := SMT(o)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(tb.Rows) != 4 {
 		t.Fatalf("%d rows", len(tb.Rows))
 	}
@@ -199,7 +225,10 @@ func TestSMTTiny(t *testing.T) {
 }
 
 func TestAblationsTiny(t *testing.T) {
-	tb := Ablations(tinyOpts())
+	tb, err := Ablations(tinyOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(tb.Rows) != 6 {
 		t.Fatalf("%d rows", len(tb.Rows))
 	}
@@ -219,5 +248,29 @@ func TestAblationsTiny(t *testing.T) {
 	}
 	if len(tb.Notes) < 2 {
 		t.Fatal("missing latency/disabled notes")
+	}
+}
+
+// TestParallelDeterminism: a figure sweep through a 4-wide runner emits the
+// same CSV, byte for byte (including row order), as the serial path.
+func TestParallelDeterminism(t *testing.T) {
+	serialOpts := tinyOpts()
+	serialOpts.Runner = runner.New(1)
+	parOpts := tinyOpts()
+	parOpts.Parallel = 4
+	parOpts.Runner = runner.New(4)
+	for _, f := range []func(Options) (*Table, error){Fig5, Sensitivity} {
+		ts, err := f(serialOpts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tp, err := f(parOpts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ts.CSV() != tp.CSV() {
+			t.Fatalf("%s: parallel CSV differs from serial:\n--- serial\n%s--- parallel\n%s",
+				ts.ID, ts.CSV(), tp.CSV())
+		}
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"clustersim/internal/core"
 	"clustersim/internal/energy"
 	"clustersim/internal/pipeline"
+	"clustersim/internal/runner"
 	"clustersim/internal/smt"
 )
 
@@ -13,7 +14,7 @@ import (
 // model: per benchmark, the leakage-energy saving and energy-delay product
 // of the adaptive scheme (with disabled clusters voltage-gated) against the
 // always-16 static machine.
-func Energy(o Options) *Table {
+func Energy(o Options) (*Table, error) {
 	t := &Table{
 		ID:      "ext-energy",
 		Title:   "Leakage savings from cluster disabling (extension of §4.2)",
@@ -23,12 +24,21 @@ func Energy(o Options) *Table {
 			"EDP-ratio < 1 means the adaptive gated machine wins energy-delay",
 		},
 	}
+	benches := o.benchmarks()
+	reqs := make([]runner.Request, 0, 2*len(benches))
+	for _, b := range benches {
+		w := o.Window(b)
+		reqs = append(reqs, o.request("ext-energy", b, pipeline.DefaultConfig(), &core.Static{N: 16}, w))
+		reqs = append(reqs, o.request("ext-energy", b, pipeline.DefaultConfig(), core.NewExplore(core.ExploreConfig{}), w))
+	}
+	rs, err := o.sweeper().RunAll(reqs)
+	if err != nil {
+		return nil, fmt.Errorf("ext-energy: %w", err)
+	}
 	model := energy.DefaultModel()
 	var disabledSum float64
-	for _, b := range o.benchmarks() {
-		w := o.Window(b)
-		rs := run(o, "ext-energy", b, pipeline.DefaultConfig(), &core.Static{N: 16}, w)
-		ra := run(o, "ext-energy", b, pipeline.DefaultConfig(), core.NewExplore(core.ExploreConfig{}), w)
+	for i, b := range benches {
+		rstatic, radapt := rs[2*i], rs[2*i+1]
 		act := func(r pipeline.Result) energy.Activity {
 			return energy.Activity{
 				Cycles:               r.Cycles,
@@ -38,28 +48,32 @@ func Energy(o Options) *Table {
 				CacheAccesses:        r.Mem.Loads + r.Mem.Stores,
 			}
 		}
-		saving := model.LeakageSavings(act(ra), 16)
-		edpRatio := model.EDP(act(ra)) / model.EDP(act(rs))
-		disabled := 16 - ra.AvgActiveClusters()
+		saving := model.LeakageSavings(act(radapt), 16)
+		edpRatio := model.EDP(act(radapt)) / model.EDP(act(rstatic))
+		disabled := 16 - radapt.AvgActiveClusters()
 		disabledSum += disabled
 		t.Rows = append(t.Rows, Row{Name: b, Cells: []Cell{
-			Num(rs.IPC(), 2),
-			Num(ra.IPC(), 2),
+			Num(rstatic.IPC(), 2),
+			Num(radapt.IPC(), 2),
 			Num(disabled, 1),
 			Num(100*saving, 0),
 			Num(edpRatio, 2),
 		}})
 	}
 	t.Notes = append(t.Notes, fmt.Sprintf("avg clusters disabled: %.1f of 16 (paper: 8.3)",
-		disabledSum/float64(len(o.benchmarks()))))
-	return t
+		disabledSum/float64(len(benches))))
+	return t, nil
 }
 
 // SMT evaluates the paper's future-work proposal (§1, §8): dedicating
 // cluster partitions to threads and retuning the split dynamically. Pairs
 // an ILP-hungry thread with a serial one and compares static splits against
 // the distant-ILP-driven partitioner.
-func SMT(o Options) *Table {
+//
+// SMT systems co-schedule two machines, so their cells do not go through
+// the pipeline run cache; the pair×policy grid is instead parallelized
+// directly on a worker pool.
+func SMT(o Options) (*Table, error) {
 	t := &Table{
 		ID:      "ext-smt",
 		Title:   "Multi-threaded cluster partitioning (extension of §1/§8)",
@@ -80,31 +94,41 @@ func SMT(o Options) *Table {
 	if epochs < 20 {
 		epochs = 20
 	}
-	for _, pair := range pairs {
+	policies := []func() smt.PartitionPolicy{
+		func() smt.PartitionPolicy { return smt.EqualPartition{} },
+		func() smt.PartitionPolicy { return smt.FixedPartition{Split: []int{12, 4}} },
+		func() smt.PartitionPolicy { return smt.FixedPartition{Split: []int{4, 12}} },
+		func() smt.PartitionPolicy { return smt.DistantILPPartition{} },
+	}
+	reports := make([]smt.Report, len(pairs)*len(policies))
+	err := runner.Each(o.Parallel, len(reports), func(i int) error {
+		pair := pairs[i/len(policies)]
+		pol := policies[i%len(policies)]()
 		threads := []smt.Thread{
 			{Bench: pair[0], Seed: o.seed()},
 			{Bench: pair[1], Seed: o.seed()},
 		}
+		sys, err := smt.New(pipeline.DefaultConfig(), threads, 16, pol)
+		if err != nil {
+			return err
+		}
+		rep, err := sys.Run(epochs, epochCycles)
+		if err != nil {
+			return err
+		}
+		reports[i] = rep
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("ext-smt: %w", err)
+	}
+	for pi, pair := range pairs {
 		row := Row{Name: pair[0] + "+" + pair[1]}
 		var adaptive smt.Report
-		for _, pol := range []smt.PartitionPolicy{
-			smt.EqualPartition{},
-			smt.FixedPartition{Split: []int{12, 4}},
-			smt.FixedPartition{Split: []int{4, 12}},
-			smt.DistantILPPartition{},
-		} {
-			sys, err := smt.New(pipeline.DefaultConfig(), threads, 16, pol)
-			if err != nil {
-				row.Cells = append(row.Cells, Str("err"))
-				continue
-			}
-			rep, err := sys.Run(epochs, epochCycles)
-			if err != nil {
-				row.Cells = append(row.Cells, Str("err"))
-				continue
-			}
+		for si := range policies {
+			rep := reports[pi*len(policies)+si]
 			row.Cells = append(row.Cells, Num(rep.Throughput(), 2))
-			if _, ok := pol.(smt.DistantILPPartition); ok {
+			if si == len(policies)-1 {
 				adaptive = rep
 			}
 		}
@@ -112,5 +136,5 @@ func SMT(o Options) *Table {
 			adaptive.AvgClusters(0), adaptive.AvgClusters(1))))
 		t.Rows = append(t.Rows, row)
 	}
-	return t
+	return t, nil
 }

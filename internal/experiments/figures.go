@@ -5,6 +5,7 @@ import (
 
 	"clustersim/internal/core"
 	"clustersim/internal/pipeline"
+	"clustersim/internal/runner"
 	"clustersim/internal/stats"
 	"clustersim/internal/workload"
 )
@@ -12,7 +13,7 @@ import (
 // Table3 reproduces the benchmark-characterization table: base IPC on the
 // monolithic machine and instructions per branch mispredict, against the
 // paper's published values.
-func Table3(o Options) *Table {
+func Table3(o Options) (*Table, error) {
 	t := &Table{
 		ID:      "table3",
 		Title:   "Benchmark characterization (paper Table 3)",
@@ -21,9 +22,18 @@ func Table3(o Options) *Table {
 			"IPC measured on the monolithic machine (16-cluster resources, no communication cost)",
 		},
 	}
-	for _, b := range o.benchmarks() {
+	benches := o.benchmarks()
+	reqs := make([]runner.Request, len(benches))
+	for i, b := range benches {
+		reqs[i] = o.request("table3", b, pipeline.MonolithicConfig(), nil, o.Window(b))
+	}
+	rs, err := o.sweeper().RunAll(reqs)
+	if err != nil {
+		return nil, fmt.Errorf("table3: %w", err)
+	}
+	for i, b := range benches {
 		pd, _ := workload.Paper(b)
-		r := run(o, "table3", b, pipeline.MonolithicConfig(), nil, o.Window(b))
+		r := rs[i]
 		t.Rows = append(t.Rows, Row{Name: b, Cells: []Cell{
 			Str(pd.Suite),
 			Num(r.IPC(), 2),
@@ -32,25 +42,36 @@ func Table3(o Options) *Table {
 			Num(pd.MispredictInterval, 0),
 		}})
 	}
-	return t
+	return t, nil
 }
 
 // Fig3 reproduces Figure 3: IPC of statically fixed 2/4/8/16-cluster
 // organizations with the centralized cache and ring interconnect.
-func Fig3(o Options) *Table {
+func Fig3(o Options) (*Table, error) {
 	t := &Table{
 		ID:      "fig3",
 		Title:   "IPC of fixed cluster organizations (paper Figure 3)",
 		Columns: []string{"2", "4", "8", "16", "best"},
 	}
 	counts := []int{2, 4, 8, 16}
-	for _, b := range o.benchmarks() {
-		row := Row{Name: b}
-		best, bestN := 0.0, 0
+	benches := o.benchmarks()
+	var reqs []runner.Request
+	for _, b := range benches {
 		for _, n := range counts {
 			cfg := pipeline.DefaultConfig()
 			cfg.ActiveClusters = n
-			r := run(o, fmt.Sprintf("fig3-c%d", n), b, cfg, nil, o.Window(b))
+			reqs = append(reqs, o.request(fmt.Sprintf("fig3-c%d", n), b, cfg, nil, o.Window(b)))
+		}
+	}
+	rs, err := o.sweeper().RunAll(reqs)
+	if err != nil {
+		return nil, fmt.Errorf("fig3: %w", err)
+	}
+	for bi, b := range benches {
+		row := Row{Name: b}
+		best, bestN := 0.0, 0
+		for ci, n := range counts {
+			r := rs[bi*len(counts)+ci]
 			row.Cells = append(row.Cells, Num(r.IPC(), 2))
 			if r.IPC() > best {
 				best, bestN = r.IPC(), n
@@ -59,12 +80,12 @@ func Fig3(o Options) *Table {
 		row.Cells = append(row.Cells, Str(fmt.Sprintf("%d", bestN)))
 		t.Rows = append(t.Rows, row)
 	}
-	return t
+	return t, nil
 }
 
 // Table4 reproduces the instability-factor analysis: the minimum interval
 // length with <5% instability and the instability at a 10K interval.
-func Table4(o Options) *Table {
+func Table4(o Options) (*Table, error) {
 	t := &Table{
 		ID:      "table4",
 		Title:   "Instability factors vs interval length (paper Table 4)",
@@ -74,13 +95,23 @@ func Table4(o Options) *Table {
 		},
 	}
 	mults := []int{1, 2, 4, 8, 16, 32, 64, 128}
-	for _, b := range o.benchmarks() {
-		rec := stats.NewRecorder(10_000)
-		cfg := pipeline.DefaultConfig()
-		gen := workload.MustNew(b, o.seed())
-		p := pipeline.MustNew(cfg, gen, rec)
-		p.Run(2 * o.Window(b))
-		trace := rec.Intervals()
+	benches := o.benchmarks()
+	// The recorder controller is harvested after its run (its interval
+	// trace feeds the instability analysis), so these runs bypass the
+	// cache: each request must actually execute on its own recorder.
+	recs := make([]*stats.Recorder, len(benches))
+	reqs := make([]runner.Request, len(benches))
+	for i, b := range benches {
+		recs[i] = stats.NewRecorder(10_000)
+		req := o.request("table4", b, pipeline.DefaultConfig(), recs[i], 2*o.Window(b))
+		req.NoCache = true
+		reqs[i] = req
+	}
+	if _, err := o.sweeper().RunAll(reqs); err != nil {
+		return nil, fmt.Errorf("table4: %w", err)
+	}
+	for i, b := range benches {
+		trace := recs[i].Intervals()
 		th := stats.DefaultThresholds()
 		minLen, factor := stats.MinStableInterval(trace, 10_000, mults, 5, th)
 		at10K := stats.Instability(trace, th)
@@ -93,17 +124,28 @@ func Table4(o Options) *Table {
 			Num(pd.InstabilityAt10K, 0),
 		}})
 	}
-	return t
+	return t, nil
 }
 
-// schemeSet runs one benchmark under a list of controllers and returns the
-// IPCs in order. id labels any observability artifacts the runs emit.
-func schemeSet(id, b string, o Options, cfg pipeline.Config, mks []func() pipeline.Controller) []pipeline.Result {
-	out := make([]pipeline.Result, len(mks))
-	for i, mk := range mks {
-		out[i] = run(o, id, b, cfg, mk(), o.Window(b))
+// schemeSweep submits one request per benchmark×scheme cell (bench-major
+// order) and returns results indexed [bench][scheme].
+func schemeSweep(o Options, id string, cfg pipeline.Config, mks []func() pipeline.Controller) ([][]pipeline.Result, error) {
+	benches := o.benchmarks()
+	reqs := make([]runner.Request, 0, len(benches)*len(mks))
+	for _, b := range benches {
+		for _, mk := range mks {
+			reqs = append(reqs, o.request(id, b, cfg, mk(), o.Window(b)))
+		}
 	}
-	return out
+	flat, err := o.sweeper().RunAll(reqs)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]pipeline.Result, len(benches))
+	for bi := range benches {
+		out[bi] = flat[bi*len(mks) : (bi+1)*len(mks)]
+	}
+	return out, nil
 }
 
 // summarize appends a geomean row plus improvement-vs-best-static notes.
@@ -152,7 +194,7 @@ func summarize(t *Table, ipcs map[string][]float64, staticCols []int) {
 // Fig5 reproduces Figure 5: static 4/16 against the interval-based scheme
 // with exploration and the no-exploration distant-ILP scheme at three fixed
 // interval lengths, on the centralized cache.
-func Fig5(o Options) *Table {
+func Fig5(o Options) (*Table, error) {
 	t := &Table{
 		ID:      "fig5",
 		Title:   "Interval-based schemes, centralized cache (paper Figure 5)",
@@ -166,12 +208,15 @@ func Fig5(o Options) *Table {
 		func() pipeline.Controller { return core.NewDistantILP(core.DistantILPConfig{Interval: 1000}) },
 		func() pipeline.Controller { return core.NewDistantILP(core.DistantILPConfig{Interval: 10_000}) },
 	}
+	sweep, err := schemeSweep(o, "fig5", pipeline.DefaultConfig(), mks)
+	if err != nil {
+		return nil, fmt.Errorf("fig5: %w", err)
+	}
 	ipcs := map[string][]float64{}
 	var exploreDistant, exploreReconf []float64
-	for _, b := range o.benchmarks() {
-		rs := schemeSet("fig5", b, o, pipeline.DefaultConfig(), mks)
+	for bi, b := range o.benchmarks() {
 		row := Row{Name: b}
-		for i, r := range rs {
+		for i, r := range sweep[bi] {
 			row.Cells = append(row.Cells, Num(r.IPC(), 2))
 			ipcs[b] = append(ipcs[b], r.IPC())
 			if i == 2 {
@@ -185,12 +230,12 @@ func Fig5(o Options) *Table {
 	t.Notes = append(t.Notes, fmt.Sprintf(
 		"explore scheme: mean distant-ILP fraction %.2f, %.0f reconfigurations per M instructions",
 		mean(exploreDistant), mean(exploreReconf)))
-	return t
+	return t, nil
 }
 
 // Fig6 reproduces Figure 6: the fine-grained reconfiguration schemes
 // against the exploration scheme and the static bases.
-func Fig6(o Options) *Table {
+func Fig6(o Options) (*Table, error) {
 	t := &Table{
 		ID:      "fig6",
 		Title:   "Fine-grained reconfiguration (paper Figure 6)",
@@ -203,23 +248,26 @@ func Fig6(o Options) *Table {
 		func() pipeline.Controller { return core.NewFineGrain(core.FineGrainConfig{}) },
 		func() pipeline.Controller { return core.NewFineGrain(core.FineGrainConfig{CallReturnOnly: true}) },
 	}
+	sweep, err := schemeSweep(o, "fig6", pipeline.DefaultConfig(), mks)
+	if err != nil {
+		return nil, fmt.Errorf("fig6: %w", err)
+	}
 	ipcs := map[string][]float64{}
-	for _, b := range o.benchmarks() {
-		rs := schemeSet("fig6", b, o, pipeline.DefaultConfig(), mks)
+	for bi, b := range o.benchmarks() {
 		row := Row{Name: b}
-		for _, r := range rs {
+		for _, r := range sweep[bi] {
 			row.Cells = append(row.Cells, Num(r.IPC(), 2))
 			ipcs[b] = append(ipcs[b], r.IPC())
 		}
 		t.Rows = append(t.Rows, row)
 	}
 	summarize(t, ipcs, []int{0, 1})
-	return t
+	return t, nil
 }
 
 // Fig7 reproduces Figure 7: the decentralized cache model under the
 // interval-based schemes, including reconfiguration cache flushes.
-func Fig7(o Options) *Table {
+func Fig7(o Options) (*Table, error) {
 	t := &Table{
 		ID:      "fig7",
 		Title:   "Interval-based schemes, decentralized cache (paper Figure 7)",
@@ -234,20 +282,21 @@ func Fig7(o Options) *Table {
 		func() pipeline.Controller { return core.NewDistantILP(core.DistantILPConfig{Interval: 1000}) },
 		func() pipeline.Controller { return core.NewDistantILP(core.DistantILPConfig{Interval: 10_000}) },
 	}
+	sweep, err := schemeSweep(o, "fig7", cfg, mks)
+	if err != nil {
+		return nil, fmt.Errorf("fig7: %w", err)
+	}
 	ipcs := map[string][]float64{}
 	var flushWB, flushes uint64
-	var exploreCycles uint64
 	var exploreReconf []float64
-	for _, b := range o.benchmarks() {
-		rs := schemeSet("fig7", b, o, cfg, mks)
+	for bi, b := range o.benchmarks() {
 		row := Row{Name: b}
-		for i, r := range rs {
+		for i, r := range sweep[bi] {
 			row.Cells = append(row.Cells, Num(r.IPC(), 2))
 			ipcs[b] = append(ipcs[b], r.IPC())
 			if i == 2 {
 				flushWB += r.Mem.FlushWritebacks
 				flushes += r.Mem.Flushes
-				exploreCycles += r.Cycles
 				exploreReconf = append(exploreReconf, r.ReconfigsPerMInstr())
 			}
 		}
@@ -260,12 +309,12 @@ func Fig7(o Options) *Table {
 	t.Notes = append(t.Notes, fmt.Sprintf(
 		"explore scheme: mean %.0f reconfigurations per M instructions",
 		mean(exploreReconf)))
-	return t
+	return t, nil
 }
 
 // Fig8 reproduces Figure 8: the grid interconnect under the exploration
 // scheme.
-func Fig8(o Options) *Table {
+func Fig8(o Options) (*Table, error) {
 	t := &Table{
 		ID:      "fig8",
 		Title:   "Grid interconnect (paper Figure 8)",
@@ -278,16 +327,19 @@ func Fig8(o Options) *Table {
 		func() pipeline.Controller { return &core.Static{N: 16} },
 		func() pipeline.Controller { return core.NewExplore(core.ExploreConfig{}) },
 	}
+	sweep, err := schemeSweep(o, "fig8", cfg, mks)
+	if err != nil {
+		return nil, fmt.Errorf("fig8: %w", err)
+	}
 	ipcs := map[string][]float64{}
-	for _, b := range o.benchmarks() {
-		rs := schemeSet("fig8", b, o, cfg, mks)
+	for bi, b := range o.benchmarks() {
 		row := Row{Name: b}
-		for _, r := range rs {
+		for _, r := range sweep[bi] {
 			row.Cells = append(row.Cells, Num(r.IPC(), 2))
 			ipcs[b] = append(ipcs[b], r.IPC())
 		}
 		t.Rows = append(t.Rows, row)
 	}
 	summarize(t, ipcs, []int{0, 1})
-	return t
+	return t, nil
 }

@@ -5,13 +5,14 @@ import (
 
 	"clustersim/internal/core"
 	"clustersim/internal/pipeline"
+	"clustersim/internal/runner"
 )
 
 // Sensitivity reproduces §6's parameter sweeps: fewer/more per-cluster
 // resources, extra functional units, and doubled hop latency, reporting the
 // exploration scheme's geomean improvement over the best static base under
 // each variant (the paper reports 8%, 13%, ~11% and 23%).
-func Sensitivity(o Options) *Table {
+func Sensitivity(o Options) (*Table, error) {
 	t := &Table{
 		ID:    "sens",
 		Title: "Sensitivity analysis (paper §6)",
@@ -40,24 +41,40 @@ func Sensitivity(o Options) *Table {
 			c.HopLatency = 2
 		}, "23%"},
 	}
+	// The full variant × benchmark × scheme grid goes out as one batch so
+	// the worker pool sees every independent run at once (the baseline
+	// variant's cells are shared with Fig5 via the run cache).
+	statics := []int{4, 8, 16}
+	benches := o.benchmarks()
+	schemes := len(statics) + 1
+	var reqs []runner.Request
 	for vi, v := range variants {
-		// Geomean IPC over the benchmark set per scheme.
 		id := fmt.Sprintf("sens%d", vi)
-		statics := []int{4, 8, 16}
-		gms := make([]float64, 0, 4)
-		var per [4][]float64
-		for _, b := range o.benchmarks() {
-			for i, n := range statics {
+		for _, b := range benches {
+			for _, n := range statics {
 				cfg := pipeline.DefaultConfig()
 				v.mutate(&cfg)
-				r := run(o, id, b, cfg, &core.Static{N: n}, o.Window(b))
-				per[i] = append(per[i], r.IPC())
+				reqs = append(reqs, o.request(id, b, cfg, &core.Static{N: n}, o.Window(b)))
 			}
 			cfg := pipeline.DefaultConfig()
 			v.mutate(&cfg)
-			r := run(o, id, b, cfg, core.NewExplore(core.ExploreConfig{}), o.Window(b))
-			per[3] = append(per[3], r.IPC())
+			reqs = append(reqs, o.request(id, b, cfg, core.NewExplore(core.ExploreConfig{}), o.Window(b)))
 		}
+	}
+	rs, err := o.sweeper().RunAll(reqs)
+	if err != nil {
+		return nil, fmt.Errorf("sens: %w", err)
+	}
+	for vi, v := range variants {
+		// Geomean IPC over the benchmark set per scheme.
+		var per [4][]float64
+		for bi := range benches {
+			base := (vi*len(benches) + bi) * schemes
+			for si := 0; si < schemes; si++ {
+				per[si] = append(per[si], rs[base+si].IPC())
+			}
+		}
+		gms := make([]float64, 0, 4)
 		for i := range per {
 			gms = append(gms, geomean(per[i]))
 		}
@@ -75,7 +92,7 @@ func Sensitivity(o Options) *Table {
 	}
 	t.Notes = append(t.Notes,
 		"cells are geomean IPC over the benchmark set; improve% compares explore to the best static geomean")
-	return t
+	return t, nil
 }
 
 // Ablations reproduces the paper's in-text idealization studies: zero-cost
@@ -84,7 +101,7 @@ func Sensitivity(o Options) *Table {
 // free register communication (+27%) on the decentralized machine; plus the
 // measured average inter-cluster communication latency (4.1 cycles) and the
 // average number of disabled clusters under the exploration scheme (8.3).
-func Ablations(o Options) *Table {
+func Ablations(o Options) (*Table, error) {
 	t := &Table{
 		ID:      "ablate",
 		Title:   "Idealized-communication ablations (paper §4 and §5 in-text)",
@@ -105,15 +122,34 @@ func Ablations(o Options) *Table {
 		{"dist-perfect-banks", pipeline.DecentralizedCache, func(c *pipeline.Config) { c.PerfectBankPred = true }, "+29%"},
 		{"dist-free-reg-comm", pipeline.DecentralizedCache, func(c *pipeline.Config) { c.FreeRegComm = true }, "+27%"},
 	}
-	var centralBase, distBase float64
+	benches := o.benchmarks()
+	// One batch: every variant × benchmark cell, then the communication-
+	// latency and disabled-cluster measurement runs.
+	var reqs []runner.Request
 	for _, v := range variants {
-		var ipcs []float64
-		for _, b := range o.benchmarks() {
+		for _, b := range benches {
 			cfg := pipeline.DefaultConfig()
 			cfg.Cache = v.cache
 			v.mutate(&cfg)
-			r := run(o, "ablate-"+v.name, b, cfg, nil, o.Window(b))
-			ipcs = append(ipcs, r.IPC())
+			reqs = append(reqs, o.request("ablate-"+v.name, b, cfg, nil, o.Window(b)))
+		}
+	}
+	commBase := len(reqs)
+	for _, b := range benches {
+		reqs = append(reqs, o.request("ablate-comm", b, pipeline.DefaultConfig(), nil, o.Window(b)))
+		reqs = append(reqs, o.request("ablate-disabled", b, pipeline.DefaultConfig(),
+			core.NewExplore(core.ExploreConfig{}), o.Window(b)))
+	}
+	rs, err := o.sweeper().RunAll(reqs)
+	if err != nil {
+		return nil, fmt.Errorf("ablate: %w", err)
+	}
+
+	var centralBase, distBase float64
+	for vi, v := range variants {
+		var ipcs []float64
+		for bi := range benches {
+			ipcs = append(ipcs, rs[vi*len(benches)+bi].IPC())
 		}
 		gm := geomean(ipcs)
 		base := centralBase
@@ -137,12 +173,12 @@ func Ablations(o Options) *Table {
 	// Communication latency and disabled-cluster statistics.
 	var regLat []float64
 	var disabled []float64
-	for _, b := range o.benchmarks() {
-		r := run(o, "ablate-comm", b, pipeline.DefaultConfig(), nil, o.Window(b))
+	for bi := range benches {
+		r := rs[commBase+2*bi]
 		if r.RegTransfers > 0 {
 			regLat = append(regLat, r.AvgRegCommLatency())
 		}
-		re := run(o, "ablate-disabled", b, pipeline.DefaultConfig(), core.NewExplore(core.ExploreConfig{}), o.Window(b))
+		re := rs[commBase+2*bi+1]
 		disabled = append(disabled, 16-re.AvgActiveClusters())
 	}
 	t.Notes = append(t.Notes, fmt.Sprintf(
@@ -151,7 +187,7 @@ func Ablations(o Options) *Table {
 	t.Notes = append(t.Notes, fmt.Sprintf(
 		"avg clusters disabled by the exploration scheme: %.1f of 16 (paper: 8.3)",
 		mean(disabled)))
-	return t
+	return t, nil
 }
 
 func mean(vs []float64) float64 {

@@ -1,0 +1,38 @@
+package pipeline
+
+import (
+	"testing"
+
+	"clustersim/internal/workload"
+)
+
+// TestSteadyStateAllocBudget pins the per-window allocation count of the
+// simulation hot loop. The fetch path fills fetch-queue slots in place and
+// the mem/commit stages reuse their scratch slices, so a steady-state
+// 10K-instruction window must stay within a handful of allocations (the
+// occasional stores-slice regrow). Before the in-place fetch fill this was
+// ~10,000 allocations per window — one escaping isa.Instruction per fetch.
+func TestSteadyStateAllocBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("alloc accounting is slow under -short")
+	}
+	for _, bench := range []string{"swim", "gzip", "vpr"} {
+		gen, err := workload.New(bench, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := New(DefaultConfig(), gen, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.Run(50_000) // reach steady state: scratch slices at working size
+		avg := testing.AllocsPerRun(10, func() {
+			p.Run(10_000)
+		})
+		// Budget of 8 allocs per 10K instructions = 1600x headroom over
+		// the pre-fix behavior while still tolerating rare slice regrows.
+		if avg > 8 {
+			t.Errorf("%s: %.1f allocs per 10K-instruction window, budget 8", bench, avg)
+		}
+	}
+}

@@ -139,6 +139,13 @@ func New(cfg Config, gen workload.Generator, ctrl Controller) (*Processor, error
 	p.rob = make([]uop, robLen)
 	p.robMask = uint64(robLen - 1)
 	p.fq = make([]fqEntry, cfg.FetchQueue)
+	// Scratch slices sized for their steady-state maxima so the hot loops
+	// never grow them: in-flight stores are bounded by the ROB plus the
+	// popStore compaction threshold, pending loads by the ROB, and dummy
+	// releases by the total LSQ dummy capacity.
+	p.stores = make([]uint64, 0, 4096+cfg.ROB)
+	p.pendingLoads = make([]uint64, 0, cfg.ROB)
+	p.dummyReleases = make([]dummyRelease, 0, cfg.Clusters*cfg.LSQPerCluster)
 	p.clusters = make([]clusterState, cfg.Clusters)
 	for i := range p.clusters {
 		p.clusters[i] = newClusterState(&cfg)
@@ -766,8 +773,14 @@ func (p *Processor) fetchStage() {
 	}
 	blocks := 0
 	for n := 0; n < p.cfg.FetchWidth && p.fqLen < len(p.fq); n++ {
-		var in isa.Instruction
-		p.gen.Next(&in)
+		// Fill the fetch-queue slot in place: generating into a stack
+		// variable and copying it in would force a heap allocation per
+		// instruction (the generator is an interface, so the compiler
+		// must assume the pointer escapes).
+		slot := (p.fqHead + p.fqLen) % len(p.fq)
+		e := &p.fq[slot]
+		p.gen.Next(&e.in)
+		in := &e.in
 		seq := p.fetchSeq
 		p.fetchSeq++
 
@@ -795,8 +808,9 @@ func (p *Processor) fetchStage() {
 			mispred = p.bp.PredictReturn(in.Target)
 		}
 
-		slot := (p.fqHead + p.fqLen) % len(p.fq)
-		p.fq[slot] = fqEntry{in: in, seq: seq, earliest: now + extra + uint64(p.cfg.FrontLatency), mispred: mispred}
+		e.seq = seq
+		e.earliest = now + extra + uint64(p.cfg.FrontLatency)
+		e.mispred = mispred
 		p.fqLen++
 		p.stats.Fetched++
 

@@ -1,0 +1,385 @@
+// Package runner executes sweeps of independent simulator runs on a worker
+// pool with a content-addressed run cache.
+//
+// Reproducing the paper's figures means sweeping benchmark × configuration ×
+// controller grids, and every cell is a shared-nothing simulation: the
+// workload generator, the processor and the controller are all constructed
+// per run from the request's (benchmark, seed, config) triple, and the
+// workload engine derives its internal RNG streams from that seed alone.
+// Runs therefore commute — executing them on N workers yields bit-identical
+// results to executing them serially — and the runner exploits that twice:
+//
+//   - a worker pool (default GOMAXPROCS) runs requests concurrently while
+//     results are always returned in request order;
+//   - a content-addressed cache keyed by the request fingerprint (benchmark,
+//     seed, window, policy, and a hash of the full configuration) executes
+//     each distinct configuration once, so the static baselines that repeat
+//     across Figures 5–8 and every sensitivity variant are simulated a
+//     single time and their Result reused.
+//
+// Observability stays per-run: a request carrying a Config.Observer owns its
+// registry and series exclusively (no cross-run sharing), is never cached
+// (its exports are side effects), and its registry snapshot is merged into
+// the runner's aggregate snapshot for sweep-wide export.
+package runner
+
+import (
+	"fmt"
+	"hash/fnv"
+	"runtime"
+	"strings"
+	"sync"
+
+	"clustersim/internal/obs"
+	"clustersim/internal/pipeline"
+	"clustersim/internal/workload"
+)
+
+// Request describes one simulator execution in a sweep.
+type Request struct {
+	// ID labels the run's artifacts (usually the experiment name).
+	ID string
+	// Bench and Seed identify the workload; the engine derives all of its
+	// internal RNG streams from the seed, so a (Bench, Seed) pair names one
+	// exact instruction stream regardless of which worker replays it.
+	Bench string
+	Seed  uint64
+	// Window is the number of instructions to simulate.
+	Window uint64
+	// Config is the machine configuration. A non-nil Config.Observer makes
+	// the request uncacheable (its exports are side effects) and must not
+	// be shared between requests.
+	Config pipeline.Config
+	// Controller is the run's reconfiguration policy instance (nil =
+	// static). Controllers are stateful: every request needs its own.
+	Controller pipeline.Controller
+	// PolicyKey augments the cache key when Controller.Name() does not
+	// uniquely identify the controller's configuration.
+	PolicyKey string
+	// NoCache forces execution even when an identical run is cached (e.g.
+	// when the controller instance is harvested after the run).
+	NoCache bool
+	// PostRun, when non-nil, runs on the worker after an actual execution
+	// (cache hits and intra-batch duplicates skip it).
+	PostRun func(pipeline.Result)
+}
+
+// policy returns the request's policy identity for keys and error reports.
+func (q *Request) policy() string {
+	name := fmt.Sprintf("static-%d", q.Config.ActiveClusters)
+	if q.Controller != nil {
+		name = q.Controller.Name()
+	}
+	if q.PolicyKey != "" {
+		name += "|" + q.PolicyKey
+	}
+	return name
+}
+
+// cacheable reports whether the request may be served from / stored to the
+// run cache.
+func (q *Request) cacheable() bool {
+	return !q.NoCache && q.Config.Observer == nil && q.PostRun == nil
+}
+
+// key fingerprints the request: benchmark, seed, window, policy identity and
+// the full configuration (pointer sub-configs dereferenced, observer
+// excluded). Two requests with equal keys produce identical Results.
+func (q *Request) key() uint64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s|%d|%d|%s|", q.Bench, q.Seed, q.Window, q.policy())
+	c := q.Config
+	cacheCfg := c.CacheConfig
+	branchCfg := c.BranchPred
+	bankCfg := c.BankPred
+	c.CacheConfig, c.BranchPred, c.BankPred, c.Observer = nil, nil, nil, nil
+	fmt.Fprintf(h, "%+v", c)
+	if cacheCfg != nil {
+		fmt.Fprintf(h, "|cache:%+v", *cacheCfg)
+	}
+	if branchCfg != nil {
+		fmt.Fprintf(h, "|bpred:%+v", *branchCfg)
+	}
+	if bankCfg != nil {
+		fmt.Fprintf(h, "|bank:%+v", *bankCfg)
+	}
+	return h.Sum64()
+}
+
+// RunError describes one failed run.
+type RunError struct {
+	ID     string
+	Bench  string
+	Policy string
+	Err    error
+}
+
+func (e RunError) Error() string {
+	return fmt.Sprintf("%s/%s/%s: %v", e.ID, e.Bench, e.Policy, e.Err)
+}
+
+// SweepError aggregates every failed run of a sweep.
+type SweepError struct {
+	Failures []RunError
+	Total    int
+}
+
+func (e *SweepError) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d of %d runs failed:", len(e.Failures), e.Total)
+	for _, f := range e.Failures {
+		b.WriteString("\n  ")
+		b.WriteString(f.Error())
+	}
+	return b.String()
+}
+
+// Stats summarizes the runner's lifetime work.
+type Stats struct {
+	// Runs counts actual simulator executions.
+	Runs int
+	// CacheHits counts requests served from the cache, and Deduped
+	// requests resolved against an identical request in the same batch.
+	CacheHits int
+	Deduped   int
+}
+
+// Runner executes request batches. The zero value is ready to use; a Runner
+// may be shared across batches (and goroutines) to share its run cache.
+type Runner struct {
+	// Workers is the pool width (<= 0 selects GOMAXPROCS).
+	Workers int
+	// DisableCache turns the run cache off (every request executes).
+	DisableCache bool
+
+	mu      sync.Mutex
+	cache   map[uint64]pipeline.Result
+	stats   Stats
+	agg     obs.Snapshot
+	aggRuns int
+}
+
+// New returns a Runner with the given pool width (<= 0 selects GOMAXPROCS).
+func New(workers int) *Runner { return &Runner{Workers: workers} }
+
+func (r *Runner) workers() int {
+	if r.Workers > 0 {
+		return r.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Stats returns the runner's lifetime execution counts.
+func (r *Runner) Stats() Stats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.stats
+}
+
+// AggregateSnapshot returns the merged metrics snapshot of every observed
+// run executed so far and the number of runs folded into it.
+func (r *Runner) AggregateSnapshot() (obs.Snapshot, int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	merged := obs.Snapshot{}
+	merged.Merge(r.agg)
+	return merged, r.aggRuns
+}
+
+func (r *Runner) lookup(key uint64) (pipeline.Result, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	res, ok := r.cache[key]
+	if ok {
+		r.stats.CacheHits++
+	}
+	return res, ok
+}
+
+func (r *Runner) store(key uint64, res pipeline.Result) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.cache == nil {
+		r.cache = make(map[uint64]pipeline.Result)
+	}
+	r.cache[key] = res
+}
+
+// RunAll executes a batch. Results are indexed like reqs regardless of the
+// execution order; the returned error, if any, is a *SweepError aggregating
+// every failed run (successful runs still have valid Results).
+func (r *Runner) RunAll(reqs []Request) ([]pipeline.Result, error) {
+	n := len(reqs)
+	results := make([]pipeline.Result, n)
+	errs := make([]error, n)
+	keys := make([]uint64, n)
+	dupOf := make([]int, n)
+
+	// Resolve the cache and dedup identical requests within the batch
+	// before anything runs: the first occurrence executes, later ones copy
+	// its result. Both resolutions are order-deterministic.
+	seen := make(map[uint64]int)
+	todo := make([]int, 0, n)
+	for i := range reqs {
+		dupOf[i] = -1
+		q := &reqs[i]
+		if r.DisableCache || !q.cacheable() {
+			todo = append(todo, i)
+			continue
+		}
+		k := q.key()
+		keys[i] = k
+		if res, ok := r.lookup(k); ok {
+			results[i] = res
+			continue
+		}
+		if j, ok := seen[k]; ok {
+			dupOf[i] = j
+			r.mu.Lock()
+			r.stats.Deduped++
+			r.mu.Unlock()
+			continue
+		}
+		seen[k] = i
+		todo = append(todo, i)
+	}
+
+	workers := r.workers()
+	if workers > len(todo) {
+		workers = len(todo)
+	}
+	if workers <= 1 {
+		for _, i := range todo {
+			results[i], errs[i] = r.execute(&reqs[i], keys[i])
+		}
+	} else {
+		idx := make(chan int)
+		var wg sync.WaitGroup
+		for g := 0; g < workers; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range idx {
+					results[i], errs[i] = r.execute(&reqs[i], keys[i])
+				}
+			}()
+		}
+		for _, i := range todo {
+			idx <- i
+		}
+		close(idx)
+		wg.Wait()
+	}
+
+	for i := range reqs {
+		if j := dupOf[i]; j >= 0 {
+			results[i], errs[i] = results[j], errs[j]
+		}
+	}
+
+	var failures []RunError
+	for i, err := range errs {
+		if err != nil {
+			failures = append(failures, RunError{
+				ID: reqs[i].ID, Bench: reqs[i].Bench, Policy: reqs[i].policy(), Err: err,
+			})
+		}
+	}
+	if len(failures) > 0 {
+		return results, &SweepError{Failures: failures, Total: n}
+	}
+	return results, nil
+}
+
+// execute runs one request on the calling worker. Panics (e.g. the
+// pipeline's forward-progress watchdog) are converted into errors so a
+// single bad run fails its request, not the whole sweep.
+func (r *Runner) execute(q *Request, key uint64) (res pipeline.Result, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("run panicked: %v", p)
+		}
+	}()
+	gen, err := workload.New(q.Bench, q.Seed)
+	if err != nil {
+		return res, err
+	}
+	p, err := pipeline.New(q.Config, gen, q.Controller)
+	if err != nil {
+		return res, err
+	}
+	res = p.Run(q.Window)
+
+	r.mu.Lock()
+	r.stats.Runs++
+	r.mu.Unlock()
+	if ob := q.Config.Observer; ob != nil && ob.Registry != nil {
+		snap := ob.Registry.Snapshot()
+		r.mu.Lock()
+		r.agg.Merge(snap)
+		r.aggRuns++
+		r.mu.Unlock()
+	}
+	if q.PostRun != nil {
+		q.PostRun(res)
+	}
+	if !r.DisableCache && q.cacheable() {
+		r.store(key, res)
+	}
+	return res, nil
+}
+
+// Each runs fn(0..n-1) on a pool of the given width (<= 0 selects
+// GOMAXPROCS) and aggregates the per-index errors in index order. It serves
+// sweeps whose cells are not plain pipeline runs (e.g. the SMT co-schedule
+// studies); fn must be safe for concurrent invocation on distinct indices.
+func Each(workers, n int, fn func(i int) error) error {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	errs := make([]error, n)
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			errs[i] = safeCall(fn, i)
+		}
+	} else {
+		idx := make(chan int)
+		var wg sync.WaitGroup
+		for g := 0; g < workers; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range idx {
+					errs[i] = safeCall(fn, i)
+				}
+			}()
+		}
+		for i := 0; i < n; i++ {
+			idx <- i
+		}
+		close(idx)
+		wg.Wait()
+	}
+	var msgs []string
+	for i, err := range errs {
+		if err != nil {
+			msgs = append(msgs, fmt.Sprintf("cell %d: %v", i, err))
+		}
+	}
+	if len(msgs) > 0 {
+		return fmt.Errorf("%d of %d cells failed: %s", len(msgs), n, strings.Join(msgs, "; "))
+	}
+	return nil
+}
+
+func safeCall(fn func(int) error, i int) (err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("panicked: %v", p)
+		}
+	}()
+	return fn(i)
+}

@@ -180,10 +180,12 @@ func (e *engine) advancePhase() {
 	e.blk, e.idx, e.iter, e.blocksDone = 0, 0, 0, 0
 	e.pendingCall, e.inFn, e.fnIdx, e.fnPos = false, false, 0, 0
 	e.itersThis = e.drawIters(k)
-	e.chainLast = make([]uint64, k.Chains)
-	e.lastLoad = make([]uint64, k.Chains)
-	e.cursor = make([]uint64, k.Chains)
-	e.addrBase = make([]uint64, k.Chains)
+	// Phase transitions happen mid-simulation: reuse the per-chain state
+	// slices across phases so steady-state execution never allocates.
+	e.chainLast = resetChainState(e.chainLast, k.Chains)
+	e.lastLoad = resetChainState(e.lastLoad, k.Chains)
+	e.cursor = resetChainState(e.cursor, k.Chains)
+	e.addrBase = resetChainState(e.addrBase, k.Chains)
 	e.regionLen = uint64(k.Footprint) / uint64(k.Chains)
 	if e.regionLen < 64 {
 		e.regionLen = 64
@@ -563,9 +565,15 @@ func compileBlock(k kernel, r *rng.Source, loop bool, carry *mixCarry) []staticI
 	return code
 }
 
-func max(a, b int) int {
-	if a > b {
-		return a
+// resetChainState returns a zeroed n-element slice, reusing s's backing
+// array when it is large enough.
+func resetChainState(s []uint64, n int) []uint64 {
+	if cap(s) < n {
+		return make([]uint64, n)
 	}
-	return b
+	s = s[:n]
+	for i := range s {
+		s[i] = 0
+	}
+	return s
 }
