@@ -27,6 +27,7 @@ import (
 	"fmt"
 	"io"
 
+	"clustersim/internal/check"
 	"clustersim/internal/core"
 	"clustersim/internal/energy"
 	"clustersim/internal/obs"
@@ -54,6 +55,25 @@ type (
 	Generator = workload.Generator
 	// PaperData records a benchmark's published characteristics.
 	PaperData = workload.PaperData
+	// WorkloadKernel parameterizes one phase of a custom synthetic
+	// workload (instruction mix, dependence structure, locality).
+	WorkloadKernel = workload.Kernel
+	// WorkloadPhase is one (name, length, kernel) segment of a custom
+	// workload.
+	WorkloadPhase = workload.Phase
+
+	// Checker observes the machine's architectural state at the end of
+	// every simulated cycle (set Config.Checker); a nil Checker costs one
+	// pointer test per cycle.
+	Checker = pipeline.Checker
+	// MachineView is the per-cycle state snapshot handed to a Checker.
+	MachineView = pipeline.MachineView
+	// InvariantChecker validates cycle-level structural invariants
+	// (window/ROB bounds, register and issue-queue conservation, memory
+	// and interconnect accounting identities). One instance per run.
+	InvariantChecker = check.Invariants
+	// InvariantViolation is one failed invariant at one cycle.
+	InvariantViolation = check.Violation
 
 	// ExploreConfig parameterizes the Figure 4 interval-based controller.
 	ExploreConfig = core.ExploreConfig
@@ -148,6 +168,21 @@ func Paper(name string) (PaperData, bool) { return workload.Paper(name) }
 func NewWorkload(name string, seed uint64) Generator {
 	return workload.MustNew(name, seed)
 }
+
+// NewCustomWorkload builds a deterministic generator from caller-supplied
+// phase kernels, for workloads beyond the nine built-in benchmarks.
+func NewCustomWorkload(name string, phases []WorkloadPhase, seed uint64) (Generator, error) {
+	return workload.Custom(name, phases, seed)
+}
+
+// NewInvariantChecker returns a cycle-level invariant checker that records
+// violations for inspection after the run (Err, Violations). Attach it via
+// Config.Checker; one instance validates exactly one run.
+func NewInvariantChecker() *InvariantChecker { return check.New() }
+
+// NewFailFastInvariantChecker returns an invariant checker that panics on
+// the first violation, stopping the simulation at the faulty cycle.
+func NewFailFastInvariantChecker() *InvariantChecker { return check.NewFailFast() }
 
 // NewProcessor builds a processor over gen, governed by ctrl (nil pins the
 // configured ActiveClusters).

@@ -8,6 +8,7 @@
 //	clustersim -bench gzip -trace out.jsonl -metrics m.json
 //	clustersim -bench gzip -trace gzip.trace -trace-format chrome
 //	clustersim -bench parser -n 100000000 -serve :8080
+//	clustersim -bench gzip -check    # validate cycle-level invariants
 package main
 
 import (
@@ -34,6 +35,7 @@ func main() {
 	metrics := flag.String("metrics", "", "write a metrics snapshot (JSON) to this file")
 	sample := flag.Uint64("sample", 10_000, "probe sampling period in cycles (0 disables)")
 	serve := flag.String("serve", "", "serve live metrics over HTTP on this address (e.g. :8080)")
+	checkInv := flag.Bool("check", false, "validate cycle-level invariants during the run (exit 1 on violation)")
 	flag.Parse()
 
 	if *list {
@@ -119,6 +121,12 @@ func main() {
 		cfg.Observer = ob
 	}
 
+	var chk *clustersim.InvariantChecker
+	if *checkInv {
+		chk = clustersim.NewInvariantChecker()
+		cfg.Checker = chk
+	}
+
 	res, err := clustersim.Run(*bench, *seed, cfg, ctrl, *n)
 	if err != nil {
 		fatal("%v", err)
@@ -154,6 +162,13 @@ func main() {
 	if cfg.Cache == clustersim.DecentralizedCache {
 		fmt.Printf("bank mispredicts %d\n", res.BankMispredicts)
 		fmt.Printf("flush writebacks %d (%d flushes)\n", res.Mem.FlushWritebacks, res.Mem.Flushes)
+	}
+	if chk != nil {
+		if err := chk.Err(); err != nil {
+			fmt.Fprintf(os.Stderr, "clustersim: invariant check FAILED:\n%v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("invariants       ok (%d cycles checked)\n", chk.CyclesChecked())
 	}
 }
 

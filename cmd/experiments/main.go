@@ -40,6 +40,7 @@ func main() {
 	obsSample := flag.Uint64("obs-sample", 0, "probe sampling period in cycles for -obs (0 = 10K)")
 	parallel := flag.Int("parallel", 0, "sweep worker-pool width (0 = GOMAXPROCS)")
 	noCache := flag.Bool("no-cache", false, "disable the run cache (every sweep cell simulates)")
+	checkInv := flag.Bool("check", false, "validate cycle-level invariants on every run (first violation aborts the sweep)")
 	flag.Parse()
 
 	reg := experiments.Registry()
@@ -65,7 +66,7 @@ func main() {
 	opts := experiments.Options{
 		Seed: *seed, Scale: *scale,
 		ObsDir: *obsDir, ObsSamplePeriod: *obsSample,
-		Parallel: *parallel, Runner: rn,
+		Parallel: *parallel, Runner: rn, Check: *checkInv,
 	}
 	if *benches != "" {
 		opts.Benchmarks = strings.Split(*benches, ",")

@@ -8,11 +8,13 @@
 //	workloads                  # all nine benchmarks
 //	workloads -bench gzip -n 2000000
 //	workloads -parallel 4      # characterize benchmarks concurrently
+//	workloads -csv             # machine-readable output
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -20,11 +22,103 @@ import (
 	"clustersim/internal/runner"
 )
 
+// options parameterizes one characterization sweep.
+type options struct {
+	names    []string
+	window   uint64
+	seed     uint64
+	parallel int
+	csv      bool
+}
+
+// row is one benchmark's measured-vs-published characterization.
+type row struct {
+	name, suite             string
+	ipc, paperIPC           float64
+	mispred, paperMispred   float64
+	branches, mems, distant float64
+}
+
+// characterize runs the sweep and returns one row per known benchmark (rows
+// follow the requested order; unknown names are skipped with a note on w).
+func characterize(opt options, w io.Writer) ([]row, error) {
+	// Two runs per benchmark (monolithic and 16-cluster), submitted as
+	// one batch; rows print in order regardless of execution order.
+	var reqs []runner.Request
+	at := make(map[string]int, len(opt.names))
+	for _, name := range opt.names {
+		if _, ok := clustersim.Paper(name); !ok {
+			fmt.Fprintf(w, "%-8s unknown benchmark\n", name)
+			continue
+		}
+		at[name] = len(reqs)
+		reqs = append(reqs, runner.Request{
+			ID: "workloads-mono", Bench: name, Seed: opt.seed, Window: opt.window,
+			Config: clustersim.MonolithicConfig(),
+		})
+		reqs = append(reqs, runner.Request{
+			ID: "workloads-wide", Bench: name, Seed: opt.seed, Window: opt.window,
+			Config: clustersim.DefaultConfig(),
+		})
+	}
+	rs, err := runner.New(opt.parallel).RunAll(reqs)
+	if err != nil {
+		return nil, err
+	}
+
+	var rows []row
+	for _, name := range opt.names {
+		i, ok := at[name]
+		if !ok {
+			continue
+		}
+		pd, _ := clustersim.Paper(name)
+		mono, wide := rs[i], rs[i+1]
+		rows = append(rows, row{
+			name:         name,
+			suite:        pd.Suite,
+			ipc:          mono.IPC(),
+			paperIPC:     pd.BaseIPC,
+			mispred:      mono.MispredictInterval(),
+			paperMispred: pd.MispredictInterval,
+			branches:     float64(wide.Branch.Lookups) / float64(wide.Instructions),
+			mems:         float64(wide.Mem.Loads+wide.Mem.Stores) / float64(wide.Instructions),
+			distant:      float64(wide.DistantCommitted) / float64(wide.Instructions),
+		})
+	}
+	return rows, nil
+}
+
+// writeTable prints the human-readable characterization table.
+func writeTable(w io.Writer, rows []row) {
+	fmt.Fprintf(w, "%-8s %-11s %7s %7s %9s %9s %7s %7s %8s\n",
+		"bench", "suite", "IPC", "paper", "mispred", "paper", "br%", "mem%", "distant%")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-8s %-11s %7.2f %7.2f %9.0f %9.0f %6.1f%% %6.1f%% %7.1f%%\n",
+			r.name, r.suite, r.ipc, r.paperIPC, r.mispred, r.paperMispred,
+			100*r.branches, 100*r.mems, 100*r.distant)
+	}
+	fmt.Fprintln(w, "\nIPC and mispred measured on the monolithic machine; mix and distant")
+	fmt.Fprintln(w, "fraction on the 16-cluster ring machine (distant = issued >=120")
+	fmt.Fprintln(w, "behind the ROB head, the signal the adaptive controllers use).")
+}
+
+// writeCSV prints the machine-readable characterization.
+func writeCSV(w io.Writer, rows []row) {
+	fmt.Fprintln(w, "bench,suite,ipc,paper_ipc,mispred_interval,paper_mispred_interval,branch_frac,mem_frac,distant_frac")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s,%s,%.4f,%.2f,%.1f,%.0f,%.4f,%.4f,%.4f\n",
+			r.name, strings.ReplaceAll(r.suite, ",", ";"), r.ipc, r.paperIPC,
+			r.mispred, r.paperMispred, r.branches, r.mems, r.distant)
+	}
+}
+
 func main() {
 	benches := flag.String("bench", "", "comma-separated benchmarks (default: all)")
 	n := flag.Uint64("n", 1_000_000, "instructions per benchmark")
 	seed := flag.Uint64("seed", 1, "workload seed")
 	parallel := flag.Int("parallel", 0, "worker-pool width (0 = GOMAXPROCS)")
+	csv := flag.Bool("csv", false, "emit machine-readable CSV instead of the table")
 	flag.Parse()
 
 	names := clustersim.Benchmarks()
@@ -32,49 +126,16 @@ func main() {
 		names = strings.Split(*benches, ",")
 	}
 
-	// Two runs per benchmark (monolithic and 16-cluster), submitted as
-	// one batch; rows print in order regardless of execution order.
-	var reqs []runner.Request
-	at := make(map[string]int, len(names))
-	for _, name := range names {
-		if _, ok := clustersim.Paper(name); !ok {
-			continue
-		}
-		at[name] = len(reqs)
-		reqs = append(reqs, runner.Request{
-			ID: "workloads-mono", Bench: name, Seed: *seed, Window: *n,
-			Config: clustersim.MonolithicConfig(),
-		})
-		reqs = append(reqs, runner.Request{
-			ID: "workloads-wide", Bench: name, Seed: *seed, Window: *n,
-			Config: clustersim.DefaultConfig(),
-		})
-	}
-	rs, err := runner.New(*parallel).RunAll(reqs)
+	rows, err := characterize(options{
+		names: names, window: *n, seed: *seed, parallel: *parallel, csv: *csv,
+	}, os.Stdout)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "workloads: %v\n", err)
 		os.Exit(1)
 	}
-
-	fmt.Printf("%-8s %-11s %7s %7s %9s %9s %7s %7s %8s\n",
-		"bench", "suite", "IPC", "paper", "mispred", "paper", "br%", "mem%", "distant%")
-	for _, name := range names {
-		pd, ok := clustersim.Paper(name)
-		if !ok {
-			fmt.Printf("%-8s unknown benchmark\n", name)
-			continue
-		}
-		i := at[name]
-		mono, wide := rs[i], rs[i+1]
-		branches := float64(wide.Branch.Lookups) / float64(wide.Instructions)
-		mems := float64(wide.Mem.Loads+wide.Mem.Stores) / float64(wide.Instructions)
-		distant := float64(wide.DistantCommitted) / float64(wide.Instructions)
-		fmt.Printf("%-8s %-11s %7.2f %7.2f %9.0f %9.0f %6.1f%% %6.1f%% %7.1f%%\n",
-			name, pd.Suite, mono.IPC(), pd.BaseIPC,
-			mono.MispredictInterval(), pd.MispredictInterval,
-			100*branches, 100*mems, 100*distant)
+	if *csv {
+		writeCSV(os.Stdout, rows)
+	} else {
+		writeTable(os.Stdout, rows)
 	}
-	fmt.Println("\nIPC and mispred measured on the monolithic machine; mix and distant")
-	fmt.Println("fraction on the 16-cluster ring machine (distant = issued >=120")
-	fmt.Println("behind the ROB head, the signal the adaptive controllers use).")
 }

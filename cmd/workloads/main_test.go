@@ -1,0 +1,92 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// tinyOptions is the smoke sweep: two benchmarks, a small window, one
+// worker — fast, and fully deterministic, so its CSV can be golden-tested
+// byte for byte.
+func tinyOptions() options {
+	return options{
+		names:    []string{"gzip", "swim"},
+		window:   20_000,
+		seed:     1,
+		parallel: 1,
+	}
+}
+
+// TestCharacterizeGoldenCSV pins the CSV characterization of a tiny sweep.
+// A diff here means either an intended simulator change (re-bless with
+// `go test ./cmd/workloads -run Golden -update`) or an unintended
+// determinism break.
+func TestCharacterizeGoldenCSV(t *testing.T) {
+	var note bytes.Buffer
+	rows, err := characterize(tinyOptions(), &note)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if note.Len() != 0 {
+		t.Fatalf("unexpected notes: %q", note.String())
+	}
+	var got bytes.Buffer
+	writeCSV(&got, rows)
+
+	golden := filepath.Join("testdata", "tiny_sweep.csv")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, got.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to bless)", err)
+	}
+	if !bytes.Equal(got.Bytes(), want) {
+		t.Errorf("CSV drifted from golden:\n--- got ---\n%s--- want ---\n%s", got.String(), want)
+	}
+}
+
+// TestCharacterizeTable sanity-checks the human-readable rendering.
+func TestCharacterizeTable(t *testing.T) {
+	rows, err := characterize(tinyOptions(), os.Stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	writeTable(&out, rows)
+	s := out.String()
+	for _, want := range []string{"bench", "gzip", "swim", "monolithic machine"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("table output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+// TestCharacterizeUnknownBench: unknown names are reported, known ones still
+// characterized.
+func TestCharacterizeUnknownBench(t *testing.T) {
+	opt := tinyOptions()
+	opt.names = []string{"nosuch", "gzip"}
+	var note bytes.Buffer
+	rows, err := characterize(opt, &note)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(note.String(), "nosuch") {
+		t.Errorf("unknown benchmark not reported: %q", note.String())
+	}
+	if len(rows) != 1 || rows[0].name != "gzip" {
+		t.Fatalf("expected one gzip row, got %+v", rows)
+	}
+}

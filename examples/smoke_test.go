@@ -1,0 +1,63 @@
+// Package examples_test smoke-tests the example programs: every example
+// must build, and (outside -short) run to completion with a zero exit
+// status. Examples are documentation that executes — a broken one means the
+// public API drifted under it.
+package examples_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+)
+
+var examples = []string{"energy", "multithread", "phases", "quickstart", "steering"}
+
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	root, err := filepath.Abs("..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return root
+}
+
+// TestExamplesBuild compiles every example (cheap: the build cache shares
+// the simulator packages across them).
+func TestExamplesBuild(t *testing.T) {
+	root := repoRoot(t)
+	for _, name := range examples {
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			cmd := exec.Command("go", "build", "-o", os.DevNull, "./examples/"+name)
+			cmd.Dir = root
+			if out, err := cmd.CombinedOutput(); err != nil {
+				t.Fatalf("go build: %v\n%s", err, out)
+			}
+		})
+	}
+}
+
+// TestExamplesRun executes every example end to end. The examples simulate
+// tens of millions of instructions between them, so this is skipped under
+// -short.
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples simulate full windows; skipped under -short")
+	}
+	root := repoRoot(t)
+	for _, name := range examples {
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			cmd := exec.Command("go", "run", "./examples/"+name)
+			cmd.Dir = root
+			out, err := cmd.CombinedOutput()
+			if err != nil {
+				t.Fatalf("go run: %v\n%s", err, out)
+			}
+			if len(out) == 0 {
+				t.Fatal("example produced no output")
+			}
+		})
+	}
+}

@@ -1,0 +1,200 @@
+package check
+
+import (
+	"strings"
+	"testing"
+
+	"clustersim/internal/pipeline"
+	"clustersim/internal/runner"
+	"clustersim/internal/workload"
+)
+
+// clusterMatrix is the paper's configuration space (Figure 3's 2/4/8/16
+// active-cluster sweep); the acceptance matrix validates every bundled
+// benchmark at each point.
+var clusterMatrix = []int{2, 4, 8, 16}
+
+func matrixWindow(t *testing.T) uint64 {
+	if testing.Short() {
+		return 10_000
+	}
+	return 50_000
+}
+
+// TestInvariantsCleanMatrix runs every bundled benchmark at every cluster
+// count (both cache models) under the invariant checker and requires zero
+// violations: the probes must hold on the real machine, not just catch bugs
+// on a corrupted one.
+func TestInvariantsCleanMatrix(t *testing.T) {
+	window := matrixWindow(t)
+	r := runner.New(0)
+	var reqs []runner.Request
+	var chks []*Invariants
+	var labels []string
+	for _, bench := range workload.Benchmarks() {
+		for _, n := range clusterMatrix {
+			for _, cache := range []pipeline.CacheModel{pipeline.CentralizedCache, pipeline.DecentralizedCache} {
+				cfg := pipeline.DefaultConfig()
+				cfg.Clusters = n
+				cfg.ActiveClusters = n
+				cfg.Cache = cache
+				chk := New()
+				cfg.Checker = chk
+				reqs = append(reqs, runner.Request{
+					ID: "clean-matrix", Bench: bench, Seed: 1, Window: window, Config: cfg,
+				})
+				chks = append(chks, chk)
+				labels = append(labels, bench)
+			}
+		}
+	}
+	if _, err := r.RunAll(reqs); err != nil {
+		t.Fatal(err)
+	}
+	for i, chk := range chks {
+		if err := chk.Err(); err != nil {
+			t.Errorf("%s/%d clusters/cache %d: %v", labels[i], reqs[i].Config.Clusters, reqs[i].Config.Cache, err)
+		}
+		if chk.CyclesChecked() == 0 {
+			t.Errorf("%s: checker never ran", labels[i])
+		}
+		if chk.PeakWindow() == 0 {
+			t.Errorf("%s: peak window never observed", labels[i])
+		}
+	}
+}
+
+// TestInvariantsGridTopology spot-checks the grid interconnect (different
+// Diameter and routing) under the checker.
+func TestInvariantsGridTopology(t *testing.T) {
+	cfg := pipeline.DefaultConfig()
+	cfg.Topology = pipeline.GridTopology
+	chk := New()
+	cfg.Checker = chk
+	p, err := pipeline.New(cfg, workload.MustNew("mgrid", 7), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Run(matrixWindow(t))
+	if err := chk.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFailFastPanicBecomesRunError verifies the sweep integration: a
+// fail-fast checker's panic must fail its own request, not the batch.
+func TestFailFastPanicBecomesRunError(t *testing.T) {
+	bad := NewFailFast()
+	// Sabotage the checker's cycle tracking so its first check fails.
+	bad.lastCycle = 999_999
+	cfgBad := pipeline.DefaultConfig()
+	cfgBad.Checker = bad
+	cfgGood := pipeline.DefaultConfig()
+
+	r := runner.New(0)
+	res, err := r.RunAll([]runner.Request{
+		{ID: "bad", Bench: "gzip", Seed: 1, Window: 2_000, Config: cfgBad},
+		{ID: "good", Bench: "gzip", Seed: 1, Window: 2_000, Config: cfgGood},
+	})
+	if err == nil {
+		t.Fatal("expected the fail-fast run to fail")
+	}
+	se, ok := err.(*runner.SweepError)
+	if !ok {
+		t.Fatalf("expected *runner.SweepError, got %T: %v", err, err)
+	}
+	if len(se.Failures) != 1 || se.Failures[0].ID != "bad" {
+		t.Fatalf("expected exactly the bad run to fail, got %v", se.Failures)
+	}
+	if !strings.Contains(se.Failures[0].Err.Error(), "cycle-sequence") {
+		t.Fatalf("unexpected failure cause: %v", se.Failures[0].Err)
+	}
+	if res[1].Instructions < 2_000 {
+		t.Fatalf("good run incomplete: %+v", res[1])
+	}
+}
+
+// TestCheckerReuseIsDetected: a checker instance observes exactly one run;
+// attaching it to a second processor must trip the cycle-sequence probe.
+func TestCheckerReuseIsDetected(t *testing.T) {
+	chk := New()
+	cfg := pipeline.DefaultConfig()
+	cfg.Checker = chk
+	for i := 0; i < 2; i++ {
+		p, err := pipeline.New(cfg, workload.MustNew("gzip", 1), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.Run(1_000)
+	}
+	err := chk.Err()
+	if err == nil {
+		t.Fatal("checker reuse across processors not detected")
+	}
+	if !strings.Contains(err.Error(), "cycle-sequence") {
+		t.Fatalf("expected a cycle-sequence violation, got: %v", err)
+	}
+}
+
+// TestViolationCapAndErr exercises the reporting path: violations beyond the
+// cap are counted, Err aggregates, and a clean checker reports nil.
+func TestViolationCapAndErr(t *testing.T) {
+	k := New()
+	if k.Err() != nil {
+		t.Fatal("fresh checker reports an error")
+	}
+	for i := 0; i < maxViolations+10; i++ {
+		k.fail(uint64(i), "test-invariant", "violation %d", i)
+	}
+	if len(k.Violations()) != maxViolations {
+		t.Fatalf("expected %d recorded violations, got %d", maxViolations, len(k.Violations()))
+	}
+	err := k.Err()
+	if err == nil {
+		t.Fatal("violations not reported")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "74 invariant violation(s)") || !strings.Contains(msg, "(10 dropped)") {
+		t.Fatalf("unexpected aggregate message: %v", msg)
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Fatal("fail-fast checker did not panic")
+		}
+	}()
+	NewFailFast().fail(1, "test-invariant", "boom")
+}
+
+func TestCheckerNames(t *testing.T) {
+	if New().Name() != "invariants" || NewFailFast().Name() != "invariants-failfast" {
+		t.Fatalf("unexpected names %q, %q", New().Name(), NewFailFast().Name())
+	}
+}
+
+// TestCheckedRunAllocBudget holds a checked run to the same steady-state
+// allocation budget as an unchecked one (pipeline/alloc_test.go): the
+// processor reuses one MachineView and a clean CheckCycle allocates only on
+// the violation path, so attaching a checker must not add allocations.
+func TestCheckedRunAllocBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("alloc accounting is slow under -short")
+	}
+	cfg := pipeline.DefaultConfig()
+	chk := New()
+	cfg.Checker = chk
+	p, err := pipeline.New(cfg, workload.MustNew("gzip", 1), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Run(50_000)
+	avg := testing.AllocsPerRun(10, func() {
+		p.Run(10_000)
+	})
+	if avg > 8 {
+		t.Errorf("checked run: %.1f allocs per 10K-instruction window, budget 8", avg)
+	}
+	if err := chk.Err(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,183 @@
+package check
+
+import (
+	"fmt"
+
+	"clustersim/internal/core"
+	"clustersim/internal/pipeline"
+	"clustersim/internal/runner"
+	"clustersim/internal/stats"
+	"clustersim/internal/workload"
+)
+
+// This file holds the metamorphic and differential oracles: properties that
+// must hold between *pairs or families* of runs, checked by executing the
+// family through the internal/runner pool and comparing Results. They
+// complement the per-cycle invariants in check.go — an invariant catches a
+// machine in an inconsistent state, an oracle catches a machine that is
+// self-consistent but wrong (e.g. a seed leak that makes "identical" runs
+// diverge, or a reconfiguration path that changes timing when it should be
+// a no-op).
+
+// Determinism verifies seed determinism: executing the same (benchmark,
+// seed, window, config) twice yields byte-identical Results. Both runs
+// bypass the cache (a cache hit would compare a Result with itself).
+func Determinism(r *runner.Runner, bench string, seed, window uint64, cfg pipeline.Config) error {
+	reqs := []runner.Request{
+		{ID: "determinism/a", Bench: bench, Seed: seed, Window: window, Config: cfg, NoCache: true},
+		{ID: "determinism/b", Bench: bench, Seed: seed, Window: window, Config: cfg, NoCache: true},
+	}
+	res, err := r.RunAll(reqs)
+	if err != nil {
+		return err
+	}
+	if res[0] != res[1] {
+		return fmt.Errorf("check: %s seed %d not deterministic:\n  run A: %+v\n  run B: %+v", bench, seed, res[0], res[1])
+	}
+	return nil
+}
+
+// StaticEquivalence verifies static-config dominance in its exact form: a
+// controller pinned to n clusters is a cycle-for-cycle no-op, so its Result
+// equals the static n-cluster configuration's Result in every field. In
+// particular the controller can never beat the static machine it mimics.
+func StaticEquivalence(r *runner.Runner, bench string, seed, window uint64, cfg pipeline.Config, n int) error {
+	cfg.ActiveClusters = n
+	reqs := []runner.Request{
+		{ID: "static-equiv/config", Bench: bench, Seed: seed, Window: window, Config: cfg, NoCache: true},
+		{ID: "static-equiv/controller", Bench: bench, Seed: seed, Window: window, Config: cfg,
+			Controller: &core.Static{N: n}, NoCache: true},
+	}
+	res, err := r.RunAll(reqs)
+	if err != nil {
+		return err
+	}
+	if res[0] != res[1] {
+		return fmt.Errorf("check: %s static-%d controller diverges from static config:\n  config:     %+v\n  controller: %+v",
+			bench, n, res[0], res[1])
+	}
+	return nil
+}
+
+// WindowMonotonicity verifies that the realized in-flight window (peak ROB
+// occupancy, measured by an attached Invariants checker) does not shrink as
+// clusters are added: more clusters mean more registers and issue-queue
+// slots, so the machine can only keep more instructions in flight — the
+// capacity side of the paper's communication-parallelism trade-off. slack
+// allows a small fractional decrease (scheduling noise changes *which*
+// instructions are in flight, slightly perturbing the peak); 0 demands
+// strict monotonicity. Each run is also invariant-checked.
+func WindowMonotonicity(r *runner.Runner, bench string, seed, window uint64, cfg pipeline.Config, clusters []int, slack float64) error {
+	chks := make([]*Invariants, len(clusters))
+	reqs := make([]runner.Request, len(clusters))
+	for i, n := range clusters {
+		c := cfg
+		c.Clusters = n
+		c.ActiveClusters = n
+		chks[i] = New()
+		c.Checker = chks[i]
+		reqs[i] = runner.Request{
+			ID: fmt.Sprintf("window-mono/%d", n), Bench: bench, Seed: seed, Window: window, Config: c,
+		}
+	}
+	if _, err := r.RunAll(reqs); err != nil {
+		return err
+	}
+	for i, k := range chks {
+		if err := k.Err(); err != nil {
+			return fmt.Errorf("%d clusters: %w", clusters[i], err)
+		}
+	}
+	for i := 1; i < len(chks); i++ {
+		prev, cur := chks[i-1].PeakWindow(), chks[i].PeakWindow()
+		if float64(cur) < float64(prev)*(1-slack) {
+			return fmt.Errorf("check: %s peak window shrank from %d (%d clusters) to %d (%d clusters), beyond slack %.2f",
+				bench, prev, clusters[i-1], cur, clusters[i], slack)
+		}
+	}
+	return nil
+}
+
+// IntervalInvariance verifies interval-length permutation invariance of the
+// phase-trace machinery: recording at base granularity and coarsening by k
+// (stats.Aggregate) must match recording at base*k directly. Recorders never
+// reconfigure, so both runs have identical timing; the per-interval counts
+// (instructions, branches, memrefs, distant) therefore agree exactly. Cycles
+// may differ slightly — a recorder's interval clock starts at the interval's
+// first commit, so the coarse recording includes inter-interval commit gaps
+// that the aggregated fine recording does not — bounded by cycleTol
+// (fractional).
+func IntervalInvariance(r *runner.Runner, bench string, seed, window uint64, cfg pipeline.Config, base uint64, k int, cycleTol float64) error {
+	fine := stats.NewRecorder(base)
+	coarse := stats.NewRecorder(base * uint64(k))
+	reqs := []runner.Request{
+		{ID: "interval-inv/fine", Bench: bench, Seed: seed, Window: window, Config: cfg, Controller: fine, NoCache: true},
+		{ID: "interval-inv/coarse", Bench: bench, Seed: seed, Window: window, Config: cfg, Controller: coarse, NoCache: true},
+	}
+	if _, err := r.RunAll(reqs); err != nil {
+		return err
+	}
+	agg := stats.Aggregate(fine.Intervals(), k)
+	direct := coarse.Intervals()
+	if len(agg) != len(direct) {
+		return fmt.Errorf("check: %s interval traces disagree in length: %d aggregated vs %d direct", bench, len(agg), len(direct))
+	}
+	for i := range agg {
+		a, d := agg[i], direct[i]
+		if a.Instructions != d.Instructions || a.Branches != d.Branches || a.Memrefs != d.Memrefs || a.Distant != d.Distant {
+			return fmt.Errorf("check: %s interval %d counts disagree:\n  aggregated: %+v\n  direct:     %+v", bench, i, a, d)
+		}
+		lo, hi := float64(a.Cycles)*(1-cycleTol), float64(a.Cycles)*(1+cycleTol)
+		if float64(d.Cycles) < lo || float64(d.Cycles) > hi {
+			return fmt.Errorf("check: %s interval %d cycles %d outside ±%.0f%% of aggregated %d",
+				bench, i, d.Cycles, cycleTol*100, a.Cycles)
+		}
+	}
+	return nil
+}
+
+// ChunkInvariance verifies that simulating a window in one Run call and in
+// several smaller Run calls yields identical cumulative Results: Run only
+// advances the machine, so how the caller slices the window cannot matter.
+// This oracle drives the pipeline directly (the runner always simulates a
+// window in one call).
+func ChunkInvariance(bench string, seed, window uint64, cfg pipeline.Config, chunks int) error {
+	if chunks < 2 {
+		return fmt.Errorf("check: ChunkInvariance needs >= 2 chunks, got %d", chunks)
+	}
+	run := func(parts int) (pipeline.Result, error) {
+		gen, err := workload.New(bench, seed)
+		if err != nil {
+			return pipeline.Result{}, err
+		}
+		p, err := pipeline.New(cfg, gen, nil)
+		if err != nil {
+			return pipeline.Result{}, err
+		}
+		// Commits overshoot (up to CommitWidth-1 past a target), so chunk
+		// toward absolute targets: the chunked machine then passes through
+		// exactly the states the single-call machine does.
+		var res pipeline.Result
+		var committed uint64
+		for i := 1; i <= parts; i++ {
+			next := window * uint64(i) / uint64(parts)
+			if next > committed {
+				res = p.Run(next - committed)
+				committed = res.Instructions
+			}
+		}
+		return res, nil
+	}
+	whole, err := run(1)
+	if err != nil {
+		return err
+	}
+	sliced, err := run(chunks)
+	if err != nil {
+		return err
+	}
+	if whole != sliced {
+		return fmt.Errorf("check: %s chunked run diverges:\n  whole:  %+v\n  %d-way: %+v", bench, whole, chunks, sliced)
+	}
+	return nil
+}

@@ -1,0 +1,104 @@
+package check
+
+import (
+	"testing"
+
+	"clustersim/internal/pipeline"
+	"clustersim/internal/runner"
+	"clustersim/internal/workload"
+)
+
+// oracleBenches returns the benchmarks the oracle matrix covers: every
+// bundled benchmark normally, a representative subset under -short.
+func oracleBenches(t *testing.T) []string {
+	if testing.Short() {
+		return []string{"gzip", "swim", "djpeg"}
+	}
+	return workload.Benchmarks()
+}
+
+// TestDeterminismMatrix: same (bench, seed, config) twice => identical
+// Result, at every cluster count.
+func TestDeterminismMatrix(t *testing.T) {
+	window := matrixWindow(t)
+	r := runner.New(0)
+	for _, bench := range oracleBenches(t) {
+		for _, n := range clusterMatrix {
+			cfg := pipeline.DefaultConfig()
+			cfg.Clusters = n
+			cfg.ActiveClusters = n
+			if err := Determinism(r, bench, 1, window, cfg); err != nil {
+				t.Errorf("%s/%d clusters: %v", bench, n, err)
+			}
+		}
+	}
+}
+
+// TestStaticEquivalenceMatrix: a controller pinned to n clusters is
+// field-identical to the static n-cluster configuration, at every matrix
+// point (so a forced-static controller can never beat its static config).
+func TestStaticEquivalenceMatrix(t *testing.T) {
+	window := matrixWindow(t)
+	r := runner.New(0)
+	for _, bench := range oracleBenches(t) {
+		for _, n := range clusterMatrix {
+			cfg := pipeline.DefaultConfig()
+			if err := StaticEquivalence(r, bench, 1, window, cfg, n); err != nil {
+				t.Errorf("%s/%d clusters: %v", bench, n, err)
+			}
+		}
+	}
+}
+
+// TestWindowMonotonicityMatrix: the realized in-flight window grows (or at
+// worst stays, modulo scheduling noise) with the cluster count on every
+// benchmark — the parallelism half of the paper's trade-off.
+func TestWindowMonotonicityMatrix(t *testing.T) {
+	window := matrixWindow(t)
+	r := runner.New(0)
+	for _, bench := range oracleBenches(t) {
+		cfg := pipeline.DefaultConfig()
+		if err := WindowMonotonicity(r, bench, 1, window, cfg, clusterMatrix, windowSlack); err != nil {
+			t.Errorf("%s: %v", bench, err)
+		}
+	}
+}
+
+// windowSlack is the fractional peak-window decrease tolerated between
+// adjacent cluster counts: adding clusters changes steering and thus *which*
+// instructions are in flight at the peak, so the peak may jitter slightly
+// even though capacity only grows.
+const windowSlack = 0.05
+
+// TestIntervalInvarianceMatrix: a 10K-interval trace aggregated 4x matches a
+// 40K-interval trace of the identical run — count-exact, cycle-tolerant (the
+// coarse recorder's interval clock spans inter-interval commit gaps the
+// aggregated fine trace omits).
+func TestIntervalInvarianceMatrix(t *testing.T) {
+	window := matrixWindow(t) * 2
+	r := runner.New(0)
+	for _, bench := range oracleBenches(t) {
+		cfg := pipeline.DefaultConfig()
+		if err := IntervalInvariance(r, bench, 1, window, cfg, 10_000, 4, 0.10); err != nil {
+			t.Errorf("%s: %v", bench, err)
+		}
+	}
+}
+
+// TestChunkInvarianceMatrix: slicing a window across several Run calls
+// yields the identical cumulative Result.
+func TestChunkInvarianceMatrix(t *testing.T) {
+	window := matrixWindow(t)
+	for _, bench := range oracleBenches(t) {
+		cfg := pipeline.DefaultConfig()
+		if err := ChunkInvariance(bench, 1, window, cfg, 7); err != nil {
+			t.Errorf("%s: %v", bench, err)
+		}
+	}
+}
+
+func TestChunkInvarianceRejectsBadChunks(t *testing.T) {
+	if err := ChunkInvariance("gzip", 1, 1_000, pipeline.DefaultConfig(), 1); err == nil {
+		t.Fatal("expected an error for chunks < 2")
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"sort"
 	"strings"
 
+	"clustersim/internal/check"
 	"clustersim/internal/obs"
 	"clustersim/internal/pipeline"
 	"clustersim/internal/runner"
@@ -39,6 +40,11 @@ type Options struct {
 	// ObsSamplePeriod is the probe sampling period in cycles when ObsDir
 	// is set (0 = every 10K cycles).
 	ObsSamplePeriod uint64
+	// Check attaches a fresh fail-fast cycle-level invariant checker
+	// (internal/check) to every simulated run; the first violation aborts
+	// the sweep with an error naming the offending run. Checked runs are
+	// never cache-elided, so sweeps re-simulate repeated configurations.
+	Check bool
 	// Parallel is the sweep worker-pool width (0 = GOMAXPROCS). Results
 	// are bit-identical at any width: every run is a shared-nothing
 	// simulator instance seeded from (benchmark, Seed) alone.
@@ -205,6 +211,11 @@ func (o Options) request(id, bench string, cfg pipeline.Config, ctrl pipeline.Co
 		Window:     n,
 		Config:     cfg,
 		Controller: ctrl,
+	}
+	if o.Check {
+		// One checker per run: Invariants tracks cumulative counters and
+		// must not be shared across processors.
+		req.Config.Checker = check.NewFailFast()
 	}
 	if o.ObsDir != "" {
 		period := o.ObsSamplePeriod

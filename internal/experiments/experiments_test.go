@@ -274,3 +274,32 @@ func TestParallelDeterminism(t *testing.T) {
 		}
 	}
 }
+
+// TestCheckedSweep: Options.Check runs a figure sweep under the fail-fast
+// invariant checker; a healthy simulator completes with identical tables,
+// and checked requests bypass the shared run cache — a cache hit would
+// return a result without validating the run.
+func TestCheckedSweep(t *testing.T) {
+	rn := runner.New(2)
+	o := tinyOpts()
+	o.Benchmarks = []string{"gzip"}
+	o.Runner = rn
+	want, err := Fig3(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := rn.Stats().Runs
+	o.Check = true
+	got, err := Fig3(o)
+	if err != nil {
+		t.Fatalf("checked sweep failed: %v", err)
+	}
+	if want.Format() != got.Format() {
+		t.Fatalf("checked sweep changed results:\nplain:\n%s\nchecked:\n%s", want.Format(), got.Format())
+	}
+	st := rn.Stats()
+	if st.Runs != 2*first {
+		t.Fatalf("checked sweep reused cached runs: %d runs after, %d before (cache hits %d)",
+			st.Runs, first, st.CacheHits)
+	}
+}

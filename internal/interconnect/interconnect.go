@@ -108,6 +108,10 @@ type Network interface {
 	Clusters() int
 	// Hops returns the routed hop count between nodes a and b.
 	Hops(a, b int) int
+	// Diameter returns the worst-case routed hop count between any two
+	// nodes — the upper bound on the hops of a single transfer, which the
+	// validation layer uses for link-transfer conservation checks.
+	Diameter() int
 	// Send reserves a one-word transfer from a to b that may begin no
 	// earlier than cycle ready, and returns the cycle at which the word
 	// is available at b. Send(ready, a, a) == ready.
@@ -146,6 +150,26 @@ func (s Stats) AvgLatency() float64 {
 	return float64(s.LatencySum) / float64(s.Transfers)
 }
 
+// Conserved checks link-transfer conservation against a network of the
+// given diameter: counters only grow from prev, every transfer traverses at
+// least one and at most diameter links, and latency is charged whenever
+// links are (a transfer cannot arrive before it departs). It returns nil
+// when the statistics are consistent.
+func (s Stats) Conserved(prev Stats, diameter int) error {
+	switch {
+	case s.Transfers < prev.Transfers || s.Hops < prev.Hops || s.LatencySum < prev.LatencySum:
+		return fmt.Errorf("interconnect: counters went backwards: %+v -> %+v", prev, s)
+	case s.Hops < s.Transfers:
+		return fmt.Errorf("interconnect: %d transfers but only %d link traversals", s.Transfers, s.Hops)
+	case diameter > 0 && s.Hops > s.Transfers*uint64(diameter):
+		return fmt.Errorf("interconnect: %d link traversals exceed %d transfers x diameter %d",
+			s.Hops, s.Transfers, diameter)
+	case s.Hops > 0 && s.LatencySum == 0:
+		return fmt.Errorf("interconnect: %d link traversals with zero accumulated latency", s.Hops)
+	}
+	return nil
+}
+
 // Ring is a bidirectional ring built from two unidirectional rings.
 type Ring struct {
 	n      int
@@ -177,6 +201,10 @@ func (r *Ring) SetFree(free bool) { r.free = free }
 
 // Clusters returns the number of nodes.
 func (r *Ring) Clusters() int { return r.n }
+
+// Diameter implements Network: the farthest pair on a bidirectional ring is
+// half way around.
+func (r *Ring) Diameter() int { return r.n / 2 }
 
 // Hops returns the shorter ring distance between a and b.
 func (r *Ring) Hops(a, b int) int {
@@ -345,10 +373,14 @@ func NewGrid(n int, hopLatency int) *Grid {
 		w++
 	}
 	h := (n + w - 1) / w
+	// Links cover every router position of the bounding w*h grid, not just
+	// the n occupied ones: XY routing between occupied nodes may pass
+	// through an unoccupied corner position (e.g. position 8 of the 3x3
+	// layout for n=8), which still needs router links.
 	return &Grid{
 		n: n, w: w, h: h,
 		hopLat: uint64(hopLatency),
-		links:  newCalendars(n * 4),
+		links:  newCalendars(w * h * 4),
 	}
 }
 
@@ -359,6 +391,9 @@ func (g *Grid) SetFree(free bool) { g.free = free }
 func (g *Grid) Clusters() int { return g.n }
 
 func (g *Grid) coord(a int) (x, y int) { return a % g.w, a / g.w }
+
+// Diameter implements Network: opposite corners under XY routing.
+func (g *Grid) Diameter() int { return (g.w - 1) + (g.h - 1) }
 
 // Hops returns the Manhattan distance between a and b.
 func (g *Grid) Hops(a, b int) int {

@@ -327,3 +327,24 @@ func TestGridFreeBroadcast(t *testing.T) {
 		t.Fatal("free grid broadcast not free")
 	}
 }
+
+// TestGridAllPairsAllSizes sends between every node pair at every cluster
+// count up to 16. Regression for a fuzzer-found crash: non-square layouts
+// (e.g. 8 nodes on a 3x3 grid) route through unoccupied router positions,
+// which must still have links.
+func TestGridAllPairsAllSizes(t *testing.T) {
+	for n := 1; n <= 16; n++ {
+		g := NewGrid(n, 1)
+		for a := 0; a < n; a++ {
+			for b := 0; b < n; b++ {
+				arr := g.Send(0, a, b)
+				if arr < uint64(g.Hops(a, b)) {
+					t.Fatalf("n=%d %d->%d arrived %d before %d hops elapsed", n, a, b, arr, g.Hops(a, b))
+				}
+			}
+		}
+		if err := g.Stats().Conserved(Stats{}, g.Diameter()); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+	}
+}

@@ -136,6 +136,44 @@ type Stats struct {
 	Flushes uint64
 }
 
+// Conserved checks the hierarchy's accounting identities against an earlier
+// snapshot of the same run: counters only grow, every access hits or misses
+// the L1 exactly once (L1Hits+L1Misses == Loads+Stores), and every L1 miss
+// is serviced by the L2 exactly once, as a hit, a miss, or a merge into an
+// outstanding miss (L2Hits+L2Misses+L2MergedMisses == L1Misses). It returns
+// nil when the statistics are consistent.
+func (s Stats) Conserved(prev Stats) error {
+	for _, c := range [...]struct {
+		name      string
+		cur, prev uint64
+	}{
+		{"Loads", s.Loads, prev.Loads},
+		{"Stores", s.Stores, prev.Stores},
+		{"L1Hits", s.L1Hits, prev.L1Hits},
+		{"L1Misses", s.L1Misses, prev.L1Misses},
+		{"L1Writebacks", s.L1Writebacks, prev.L1Writebacks},
+		{"L2Hits", s.L2Hits, prev.L2Hits},
+		{"L2Misses", s.L2Misses, prev.L2Misses},
+		{"L2MergedMisses", s.L2MergedMisses, prev.L2MergedMisses},
+		{"L2Writebacks", s.L2Writebacks, prev.L2Writebacks},
+		{"FlushWritebacks", s.FlushWritebacks, prev.FlushWritebacks},
+		{"Flushes", s.Flushes, prev.Flushes},
+	} {
+		if c.cur < c.prev {
+			return fmt.Errorf("mem: %s went backwards: %d -> %d", c.name, c.prev, c.cur)
+		}
+	}
+	if s.L1Hits+s.L1Misses != s.Loads+s.Stores {
+		return fmt.Errorf("mem: L1 hits+misses %d != %d loads + %d stores",
+			s.L1Hits+s.L1Misses, s.Loads, s.Stores)
+	}
+	if s.L2Hits+s.L2Misses+s.L2MergedMisses != s.L1Misses {
+		return fmt.Errorf("mem: L2 hits+misses+merged %d != %d L1 misses",
+			s.L2Hits+s.L2Misses+s.L2MergedMisses, s.L1Misses)
+	}
+	return nil
+}
+
 // L1MissRate returns L1 misses per access, or 0 with no accesses.
 func (s Stats) L1MissRate() float64 {
 	total := s.L1Hits + s.L1Misses

@@ -1,0 +1,97 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+// TestHistogramEdgeCases pins the histogram's bucket semantics at the
+// boundaries: empty histograms, a single bucket, values on the bound, and
+// the overflow bucket.
+func TestHistogramEdgeCases(t *testing.T) {
+	cases := []struct {
+		name        string
+		bounds      []float64
+		observe     []float64
+		wantBuckets []uint64
+		wantCount   uint64
+		wantSum     float64
+		wantMean    float64
+	}{
+		{
+			name:        "empty histogram reports zeroes",
+			bounds:      []float64{1, 2},
+			observe:     nil,
+			wantBuckets: []uint64{0, 0, 0},
+		},
+		{
+			name:        "no bounds: everything lands in the overflow bucket",
+			bounds:      nil,
+			observe:     []float64{-5, 0, 7},
+			wantBuckets: []uint64{3},
+			wantCount:   3,
+			wantSum:     2,
+			wantMean:    2.0 / 3,
+		},
+		{
+			name:        "single bucket splits at the bound inclusively",
+			bounds:      []float64{10},
+			observe:     []float64{9.99, 10, 10.01},
+			wantBuckets: []uint64{2, 1}, // v <= bound is in-bucket, v > bound overflows
+			wantCount:   3,
+			wantSum:     30,
+			wantMean:    10,
+		},
+		{
+			name:        "overflow bucket catches everything past the last bound",
+			bounds:      []float64{1, 2, 4},
+			observe:     []float64{0.5, 1.5, 3, 100, math.Inf(1)},
+			wantBuckets: []uint64{1, 1, 1, 2},
+			wantCount:   5,
+			wantSum:     math.Inf(1),
+			wantMean:    math.Inf(1),
+		},
+		{
+			name:        "unsorted bounds are sorted at construction",
+			bounds:      []float64{4, 1, 2},
+			observe:     []float64{0.5, 1.5, 3},
+			wantBuckets: []uint64{1, 1, 1, 0},
+			wantCount:   3,
+			wantSum:     5,
+			wantMean:    5.0 / 3,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			reg := NewRegistry()
+			h := reg.Histogram("h", tc.bounds)
+			for _, v := range tc.observe {
+				h.Observe(v)
+			}
+			snap := reg.Snapshot().Histograms["h"]
+			if len(snap.Buckets) != len(tc.wantBuckets) {
+				t.Fatalf("bucket count %d, want %d", len(snap.Buckets), len(tc.wantBuckets))
+			}
+			for i, want := range tc.wantBuckets {
+				if snap.Buckets[i] != want {
+					t.Errorf("bucket %d = %d, want %d (buckets %v)", i, snap.Buckets[i], want, snap.Buckets)
+				}
+			}
+			if snap.Count != tc.wantCount {
+				t.Errorf("count %d, want %d", snap.Count, tc.wantCount)
+			}
+			if snap.Sum != tc.wantSum {
+				t.Errorf("sum %v, want %v", snap.Sum, tc.wantSum)
+			}
+			if got := snap.Mean(); got != tc.wantMean {
+				t.Errorf("mean %v, want %v", got, tc.wantMean)
+			}
+		})
+	}
+}
+
+// TestNilHistogramIsSafe: the nil-receiver fast path must tolerate observes.
+func TestNilHistogramIsSafe(t *testing.T) {
+	var h *Histogram
+	h.Observe(1) // must not panic
+}

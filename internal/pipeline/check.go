@@ -1,0 +1,110 @@
+package pipeline
+
+import (
+	"clustersim/internal/interconnect"
+	"clustersim/internal/mem"
+)
+
+// Checker observes a read-only view of the machine at the end of every
+// simulated cycle. Implementations validate cycle-level invariants (package
+// internal/check provides the standard set); they must not mutate the view
+// and must not retain it or its slices across calls — the processor reuses
+// one view for the whole run so a checked simulation never allocates on the
+// hot path.
+//
+// A nil Config.Checker disables checking at the cost of a single pointer
+// test per cycle, keeping unchecked runs perf-neutral.
+type Checker interface {
+	CheckCycle(v *MachineView)
+}
+
+// MachineView is the per-cycle machine state exposed to a Checker. All
+// per-cluster slices are indexed by cluster and have Config.Clusters
+// entries; they are refreshed in place every cycle.
+type MachineView struct {
+	// Cycle and Committed are the current cycle and cumulative commits.
+	Cycle     uint64
+	Committed uint64
+
+	// HeadSeq, TailSeq and FetchSeq delimit the in-flight window:
+	// HeadSeq is the oldest in-flight seq, TailSeq the next to dispatch,
+	// FetchSeq the next to fetch. TailSeq-HeadSeq is the ROB occupancy.
+	HeadSeq  uint64
+	TailSeq  uint64
+	FetchSeq uint64
+
+	// Active is the current active-cluster count; Draining reports an
+	// in-progress decentralized reconfiguration drain.
+	Active   int
+	Draining bool
+
+	// FetchQueueLen is the fetch-queue occupancy.
+	FetchQueueLen int
+
+	// IQInt and IQFP are per-cluster issue-queue occupancies; IntRegs and
+	// FPRegs are per-cluster physical registers in use; LSQ is the
+	// per-cluster LSQ occupancy (loads plus store dummies, decentralized
+	// model). LSQCentral is the centralized LSQ occupancy.
+	IQInt, IQFP     []int
+	IntRegs, FPRegs []int
+	LSQ             []int
+	LSQCentral      int
+
+	// Stats points at the live cumulative pipeline counters.
+	Stats *Result
+	// MemStats and NetStats are this cycle's cumulative subsystem
+	// statistics.
+	MemStats mem.Stats
+	NetStats interconnect.Stats
+
+	// Config is the machine configuration; NetDiameter the interconnect's
+	// worst-case routed hop count (both fixed for the run).
+	Config      *Config
+	NetDiameter int
+}
+
+// initCheck wires the checker into the processor, pre-sizing the view's
+// per-cluster slices so checked cycles never allocate.
+func (p *Processor) initCheck(chk Checker) {
+	p.chk = chk
+	if chk == nil {
+		return
+	}
+	n := p.cfg.Clusters
+	p.view = MachineView{
+		IQInt:       make([]int, n),
+		IQFP:        make([]int, n),
+		IntRegs:     make([]int, n),
+		FPRegs:      make([]int, n),
+		LSQ:         make([]int, n),
+		Stats:       &p.stats,
+		Config:      &p.cfg,
+		NetDiameter: p.net.Diameter(),
+	}
+}
+
+// checkCycle refreshes the view and hands it to the checker. Called from
+// step() only when a checker is attached.
+func (p *Processor) checkCycle() {
+	v := &p.view
+	v.Cycle = p.cycle
+	v.Committed = p.committed
+	v.HeadSeq = p.headSeq
+	v.TailSeq = p.tailSeq
+	v.FetchSeq = p.fetchSeq
+	v.Active = p.active
+	v.Draining = p.draining
+	v.FetchQueueLen = p.fqLen
+	v.LSQCentral = p.lsqTotal
+	for i := range p.clusters {
+		cs := &p.clusters[i]
+		v.IQInt[i] = len(cs.iqInt)
+		v.IQFP[i] = len(cs.iqFP)
+		v.IntRegs[i] = cs.intRegs
+		v.FPRegs[i] = cs.fpRegs
+		v.LSQ[i] = cs.lsq
+	}
+	v.MemStats = p.memsys.Stats()
+	v.NetStats = p.net.Stats()
+	p.chk.CheckCycle(v)
+}

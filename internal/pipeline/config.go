@@ -156,6 +156,12 @@ type Config struct {
 	// Controller supports it, to the controller's decision reporting.
 	// Nil disables all instrumentation at zero hot-path cost.
 	Observer *obs.Observer
+
+	// Checker attaches a cycle-level invariant checker (see check.go and
+	// package internal/check) that observes the machine state at the end
+	// of every cycle. Nil disables checking at zero hot-path cost.
+	// Checkers are stateful: every concurrent run needs its own instance.
+	Checker Checker
 }
 
 // DefaultConfig returns the paper's Table 1 16-cluster machine with the

@@ -1,0 +1,9 @@
+package pipeline
+
+// CorruptScoreboardForTest injects a register-scoreboard accounting bug for
+// mutation-testing the invariant checker: it adds delta to cluster 0's
+// in-use integer-register count with no owning instruction, emulating a
+// free that never happened (delta > 0) or a double free (delta < 0).
+func (p *Processor) CorruptScoreboardForTest(delta int) {
+	p.clusters[0].intRegs += delta
+}

@@ -166,3 +166,53 @@ func benchSteps(b *testing.B, ob *obs.Observer) {
 	b.ResetTimer()
 	p.Run(uint64(b.N))
 }
+
+// TestSnapshotResultEquivalence: every counter the observer exports must
+// equal the corresponding Result field after Stats() (which syncs the
+// registry), so dashboards fed from snapshots and analyses fed from Results
+// can never disagree.
+func TestSnapshotResultEquivalence(t *testing.T) {
+	reg := obs.NewRegistry()
+	cfg := DefaultConfig()
+	cfg.Observer = &obs.Observer{Registry: reg}
+	gen := workload.MustNew("swim", 3)
+	p, err := New(cfg, gen, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Run(20_000)
+	res := p.Stats() // syncs registry counters to the cumulative totals
+	snap := reg.Snapshot()
+
+	equiv := []struct {
+		counter string
+		want    uint64
+	}{
+		{"pipeline.cycles", res.Cycles},
+		{"pipeline.instructions", res.Instructions},
+		{"pipeline.fetched", res.Fetched},
+		{"pipeline.dispatched", res.Dispatched},
+		{"pipeline.redirects", res.Redirects},
+		{"pipeline.reconfigs", res.Reconfigs},
+		{"pipeline.distant_issued", res.DistantIssued},
+		{"pipeline.distant_committed", res.DistantCommitted},
+		{"pipeline.reg_transfers", res.RegTransfers},
+		{"mem.l1_hits", res.Mem.L1Hits},
+		{"mem.l1_misses", res.Mem.L1Misses},
+		{"net.transfers", res.Net.Transfers},
+		{"net.hops", res.Net.Hops},
+	}
+	for _, e := range equiv {
+		got, ok := snap.Counters[e.counter]
+		if !ok {
+			t.Errorf("snapshot missing counter %q", e.counter)
+			continue
+		}
+		if got != e.want {
+			t.Errorf("%s = %d, Result says %d", e.counter, got, e.want)
+		}
+	}
+	if res.Instructions == 0 || res.Cycles == 0 {
+		t.Fatalf("degenerate run: %+v", res)
+	}
+}

@@ -71,6 +71,12 @@ type Processor struct {
 	obs        *obs.Observer
 	oh         obsHandles
 	nextSample uint64
+
+	// Validation. chk is nil when disabled, making the per-cycle hook a
+	// single pointer test; view is the reusable state snapshot handed to
+	// the checker (see check.go).
+	chk  Checker
+	view MachineView
 }
 
 // New builds a Processor. A nil Controller leaves the active-cluster count
@@ -166,6 +172,7 @@ func New(cfg Config, gen workload.Generator, ctrl Controller) (*Processor, error
 		ctrl.Reset(cfg.Clusters)
 	}
 	p.initObs(cfg.Observer)
+	p.initCheck(cfg.Checker)
 	if p.obs != nil && ctrl != nil {
 		// Attach after Reset: controllers re-zero their state on Reset.
 		if oa, ok := ctrl.(ObserverAware); ok {
@@ -232,6 +239,9 @@ func (p *Processor) step() {
 	p.stats.ActiveSum += uint64(p.active)
 	if p.cycle >= p.nextSample {
 		p.observeSample()
+	}
+	if p.chk != nil {
+		p.checkCycle()
 	}
 	if p.cycle-p.lastCommitCycle > 500_000 {
 		panic(fmt.Sprintf("pipeline: no commit in 500K cycles at cycle %d (head=%d tail=%d fetch=%d blocked=%d draining=%t)",

@@ -77,9 +77,11 @@ func (q *Request) policy() string {
 }
 
 // cacheable reports whether the request may be served from / stored to the
-// run cache.
+// run cache. Requests carrying a Checker never are: the checker is stateful
+// (one instance per run) and its violations are harvested after the run, so
+// a cache hit would silently skip validation.
 func (q *Request) cacheable() bool {
-	return !q.NoCache && q.Config.Observer == nil && q.PostRun == nil
+	return !q.NoCache && q.Config.Observer == nil && q.Config.Checker == nil && q.PostRun == nil
 }
 
 // key fingerprints the request: benchmark, seed, window, policy identity and
@@ -92,8 +94,20 @@ func (q *Request) key() uint64 {
 	cacheCfg := c.CacheConfig
 	branchCfg := c.BranchPred
 	bankCfg := c.BankPred
-	c.CacheConfig, c.BranchPred, c.BankPred, c.Observer = nil, nil, nil, nil
+	chk := c.Checker
+	c.CacheConfig, c.BranchPred, c.BankPred, c.Observer, c.Checker = nil, nil, nil, nil, nil
 	fmt.Fprintf(h, "%+v", c)
+	// Checked requests are uncacheable, but their keys still drive
+	// intra-batch dedup — fold the validation mode in (never the checker's
+	// pointer, which %+v would otherwise print) so a checked run can never
+	// alias an unchecked one.
+	if chk != nil {
+		mode := fmt.Sprintf("%T", chk)
+		if n, ok := chk.(interface{ Name() string }); ok {
+			mode = n.Name()
+		}
+		fmt.Fprintf(h, "|check:%s", mode)
+	}
 	if cacheCfg != nil {
 		fmt.Fprintf(h, "|cache:%+v", *cacheCfg)
 	}

@@ -200,3 +200,86 @@ func TestEach(t *testing.T) {
 		t.Fatal("expected aggregated error")
 	}
 }
+
+// namedChecker is a minimal pipeline.Checker with a validation-mode name.
+type namedChecker struct{ mode string }
+
+func (c *namedChecker) CheckCycle(*pipeline.MachineView) {}
+func (c *namedChecker) Name() string                     { return c.mode }
+
+// anonChecker is a Checker without a Name method (keyed by type).
+type anonChecker struct{}
+
+func (anonChecker) CheckCycle(*pipeline.MachineView) {}
+
+// TestCheckerRequestsNeverCached: a request carrying a checker must execute
+// even when an identical unchecked run is cached (and vice versa) — the
+// checker is stateful and validation must actually observe the run.
+func TestCheckerRequestsNeverCached(t *testing.T) {
+	r := New(1)
+	plain := staticReq("gzip", 4)
+	if _, err := r.RunAll([]Request{plain}); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Stats().Runs; got != 1 {
+		t.Fatalf("expected 1 run, got %d", got)
+	}
+
+	checked := staticReq("gzip", 4)
+	chk := &namedChecker{mode: "m"}
+	checked.Config.Checker = chk
+	res, err := r.RunAll([]Request{checked})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := r.Stats()
+	if st.Runs != 2 {
+		t.Fatalf("checked request served from cache: %+v", st)
+	}
+	if st.CacheHits != 0 || st.Deduped != 0 {
+		t.Fatalf("checked request aliased a cached run: %+v", st)
+	}
+	if res[0].Instructions < testWindow {
+		t.Fatalf("checked run incomplete: %+v", res[0])
+	}
+
+	// Nor is the checked run's result stored: a later identical checked
+	// request executes again (its own checker must see its own run).
+	again := staticReq("gzip", 4)
+	again.Config.Checker = &namedChecker{mode: "m"}
+	if _, err := r.RunAll([]Request{again}); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Stats().Runs; got != 3 {
+		t.Fatalf("second checked request served from cache (runs=%d)", got)
+	}
+}
+
+// TestKeyIncludesCheckerMode: the request fingerprint folds in the
+// checker's validation mode (by Name, falling back to the Go type) and not
+// its pointer identity.
+func TestKeyIncludesCheckerMode(t *testing.T) {
+	plain := staticReq("gzip", 4)
+	a := staticReq("gzip", 4)
+	a.Config.Checker = &namedChecker{mode: "invariants"}
+	b := staticReq("gzip", 4)
+	b.Config.Checker = &namedChecker{mode: "invariants-failfast"}
+	c := staticReq("gzip", 4)
+	c.Config.Checker = anonChecker{}
+
+	if a.key() == plain.key() {
+		t.Fatal("checked and unchecked requests share a key")
+	}
+	if a.key() == b.key() {
+		t.Fatal("different validation modes share a key")
+	}
+	if a.key() == c.key() || b.key() == c.key() {
+		t.Fatal("named and anonymous checkers share a key")
+	}
+	// Pointer-independent: two instances of the same mode share the key.
+	a2 := staticReq("gzip", 4)
+	a2.Config.Checker = &namedChecker{mode: "invariants"}
+	if a.key() != a2.key() {
+		t.Fatal("same validation mode produced different keys (pointer leaked into the hash)")
+	}
+}

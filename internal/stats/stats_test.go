@@ -273,3 +273,80 @@ func TestInstabilityCurveMonotoneForPeriodicTrace(t *testing.T) {
 		t.Fatalf("coarsening did not reduce instability: %v", curve)
 	}
 }
+
+// TestAnalysisDegenerateInputs is a table of degenerate-input cases across
+// the analysis entry points: empty traces, single intervals, aggregation
+// coarser than the trace, and empty multiplier lists must all degrade
+// gracefully instead of panicking or dividing by zero.
+func TestAnalysisDegenerateInputs(t *testing.T) {
+	th := DefaultThresholds()
+	iv := Interval{Instructions: 10_000, Cycles: 5_000, Branches: 800, Memrefs: 3_000}
+	cases := []struct {
+		name string
+		run  func(t *testing.T)
+	}{
+		{"aggregate empty trace", func(t *testing.T) {
+			if got := Aggregate(nil, 4); len(got) != 0 {
+				t.Fatalf("got %v", got)
+			}
+		}},
+		{"aggregate coarser than trace drops everything", func(t *testing.T) {
+			if got := Aggregate([]Interval{iv, iv}, 3); len(got) != 0 {
+				t.Fatalf("got %v", got)
+			}
+		}},
+		{"aggregate k=0 copies", func(t *testing.T) {
+			src := []Interval{iv}
+			got := Aggregate(src, 0)
+			if len(got) != 1 || got[0] != iv {
+				t.Fatalf("got %v", got)
+			}
+			got[0].Cycles++ // must be a copy, not an alias
+			if src[0].Cycles != iv.Cycles {
+				t.Fatal("Aggregate aliased its input")
+			}
+		}},
+		{"instability of empty and single traces", func(t *testing.T) {
+			if f := Instability(nil, th); f != 0 {
+				t.Fatalf("empty: %v", f)
+			}
+			if f := Instability([]Interval{iv}, th); f != 0 {
+				t.Fatalf("single: %v", f)
+			}
+		}},
+		{"instability with zero-cycle reference", func(t *testing.T) {
+			zero := Interval{Instructions: 10_000}
+			if f := Instability([]Interval{zero, zero}, th); f != 0 {
+				t.Fatalf("zero-IPC pair should be stable, got %v", f)
+			}
+			if f := Instability([]Interval{zero, iv}, th); f != 100 {
+				t.Fatalf("zero-to-nonzero IPC should be a phase change, got %v", f)
+			}
+		}},
+		{"instability curve with empty multipliers", func(t *testing.T) {
+			if got := InstabilityCurve([]Interval{iv, iv}, nil, th); len(got) != 0 {
+				t.Fatalf("got %v", got)
+			}
+		}},
+		{"min stable interval on empty trace", func(t *testing.T) {
+			length, factor := MinStableInterval(nil, 10_000, []int{1, 4}, 5, th)
+			if length != 10_000 || factor != 0 {
+				t.Fatalf("got length %d factor %v", length, factor)
+			}
+		}},
+		{"min stable interval with no multipliers", func(t *testing.T) {
+			length, factor := MinStableInterval([]Interval{iv, iv}, 10_000, nil, 5, th)
+			if length != 0 || factor != 0 {
+				t.Fatalf("got length %d factor %v", length, factor)
+			}
+		}},
+		{"interval IPC with zero cycles", func(t *testing.T) {
+			if got := (Interval{Instructions: 5}).IPC(); got != 0 {
+				t.Fatalf("got %v", got)
+			}
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, tc.run)
+	}
+}

@@ -1,0 +1,105 @@
+package workload
+
+import "fmt"
+
+// Kernel is the exported mirror of the synthetic-program kernel parameters,
+// for building custom workloads (and for fuzzing the generator over its
+// whole parameter space). Zero values select the engine defaults documented
+// on the internal kernel type; fractions are probabilities in [0,1].
+type Kernel struct {
+	// Chains is the number of independent serial dependence chains (>= 1).
+	Chains int
+	// FP selects a floating-point-dominated arithmetic mix.
+	FP bool
+	// LoadFrac, StoreFrac and BranchFrac are the fractions of body
+	// instructions that are loads, stores and forward branches.
+	LoadFrac, StoreFrac, BranchFrac float64
+	// MultFrac is the fraction of arithmetic using the multiplier.
+	MultFrac float64
+	// CrossFrac is the probability an operation reads from a neighbouring
+	// chain; FreshFrac the probability an operand is architected.
+	CrossFrac, FreshFrac float64
+	// LoopBody and LoopIters shape the innermost loop; IterJitter
+	// randomizes the trip count by ±IterJitter.
+	LoopBody, LoopIters, IterJitter int
+	// RandBranchFrac and RandTakenProb control data-dependent branches.
+	RandBranchFrac, RandTakenProb float64
+	// Stride, Footprint, RandomAddr and Chase shape the memory reference
+	// stream; AddrDepFrac and ReuseFrac its dependence and locality.
+	Stride, Footprint int64
+	RandomAddr, Chase bool
+	AddrDepFrac       float64
+	ReuseFrac         float64
+	// StaticBlocks, CallEvery and Funcs shape the static code footprint.
+	StaticBlocks, CallEvery, Funcs int
+}
+
+// Phase is one phase of a custom program: a kernel executed for Length
+// dynamic instructions before the program cycles to the next phase.
+type Phase struct {
+	Name   string
+	Length int64
+	Kernel Kernel
+}
+
+// Custom builds a generator for an ad-hoc synthetic program. It is the same
+// engine behind the named benchmarks, exposed so tests and fuzz targets can
+// explore generator parameters the bundled programs never exercise. The
+// same (spec, seed) pair always yields the identical stream.
+func Custom(name string, phases []Phase, seed uint64) (Generator, error) {
+	if name == "" {
+		return nil, fmt.Errorf("workload: custom program needs a name")
+	}
+	if len(phases) == 0 {
+		return nil, fmt.Errorf("workload: custom program %q needs at least one phase", name)
+	}
+	p := program{name: name}
+	for i, ph := range phases {
+		if ph.Length < 1 {
+			return nil, fmt.Errorf("workload: %s phase %d: Length must be >= 1, got %d", name, i, ph.Length)
+		}
+		if ph.Kernel.Chains < 1 {
+			return nil, fmt.Errorf("workload: %s phase %d: Chains must be >= 1, got %d", name, i, ph.Kernel.Chains)
+		}
+		k := kernel{
+			Chains:         ph.Kernel.Chains,
+			FP:             ph.Kernel.FP,
+			LoadFrac:       clamp01(ph.Kernel.LoadFrac),
+			StoreFrac:      clamp01(ph.Kernel.StoreFrac),
+			BranchFrac:     clamp01(ph.Kernel.BranchFrac),
+			MultFrac:       clamp01(ph.Kernel.MultFrac),
+			CrossFrac:      clamp01(ph.Kernel.CrossFrac),
+			FreshFrac:      clamp01(ph.Kernel.FreshFrac),
+			LoopBody:       ph.Kernel.LoopBody,
+			LoopIters:      ph.Kernel.LoopIters,
+			IterJitter:     ph.Kernel.IterJitter,
+			RandBranchFrac: clamp01(ph.Kernel.RandBranchFrac),
+			RandTakenProb:  clamp01(ph.Kernel.RandTakenProb),
+			Stride:         ph.Kernel.Stride,
+			Footprint:      ph.Kernel.Footprint,
+			RandomAddr:     ph.Kernel.RandomAddr,
+			Chase:          ph.Kernel.Chase,
+			AddrDepFrac:    clamp01(ph.Kernel.AddrDepFrac),
+			ReuseFrac:      ph.Kernel.ReuseFrac,
+			StaticBlocks:   ph.Kernel.StaticBlocks,
+			CallEvery:      ph.Kernel.CallEvery,
+			Funcs:          ph.Kernel.Funcs,
+		}
+		pname := ph.Name
+		if pname == "" {
+			pname = fmt.Sprintf("phase%d", i)
+		}
+		p.phases = append(p.phases, phaseSpec{name: pname, length: ph.Length, k: k})
+	}
+	return newEngine(p, seed), nil
+}
+
+func clamp01(f float64) float64 {
+	switch {
+	case f < 0 || f != f: // negative or NaN
+		return 0
+	case f > 1:
+		return 1
+	}
+	return f
+}
