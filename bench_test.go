@@ -244,14 +244,19 @@ func BenchmarkAblations(b *testing.B) {
 func BenchmarkSimulatorThroughput(b *testing.B) {
 	for _, bench := range []string{"swim", "gzip", "vpr"} {
 		b.Run(bench, func(b *testing.B) {
-			gen := clustersim.NewWorkload(bench, 1)
+			gen, err := clustersim.NewWorkload(bench, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
 			p, err := clustersim.NewProcessor(clustersim.DefaultConfig(), gen, nil)
 			if err != nil {
 				b.Fatal(err)
 			}
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				p.Run(10_000)
+				if _, err := p.Run(10_000); err != nil {
+					b.Fatal(err)
+				}
 			}
 			b.ReportMetric(float64(b.N)*10_000/b.Elapsed().Seconds()/1e6, "Minstr/s")
 		})

@@ -10,11 +10,13 @@
 // program may dispatch to, trading inter-cluster communication against
 // instruction-level parallelism:
 //
-//	gen := clustersim.NewWorkload("gzip", 1)
+//	gen, err := clustersim.NewWorkload("gzip", 1)
+//	if err != nil { ... }
 //	ctrl := clustersim.NewExplore(clustersim.ExploreConfig{})
 //	p, err := clustersim.NewProcessor(clustersim.DefaultConfig(), gen, ctrl)
 //	if err != nil { ... }
-//	res := p.Run(1_000_000)
+//	res, err := p.Run(1_000_000)
+//	if err != nil { ... }
 //	fmt.Println(res.IPC(), res.AvgActiveClusters())
 //
 // Nine synthetic benchmarks stand in for the paper's SPEC2K/Mediabench
@@ -163,10 +165,10 @@ func Benchmarks() []string { return workload.Benchmarks() }
 // Paper returns the published characteristics the named benchmark targets.
 func Paper(name string) (PaperData, bool) { return workload.Paper(name) }
 
-// NewWorkload returns the named benchmark's deterministic generator; it
-// panics on an unknown name (use Benchmarks for the valid set).
-func NewWorkload(name string, seed uint64) Generator {
-	return workload.MustNew(name, seed)
+// NewWorkload returns the named benchmark's deterministic generator, or an
+// error for an unknown name (use Benchmarks for the valid set).
+func NewWorkload(name string, seed uint64) (Generator, error) {
+	return workload.New(name, seed)
 }
 
 // NewCustomWorkload builds a deterministic generator from caller-supplied
@@ -271,5 +273,5 @@ func Run(benchmark string, seed uint64, cfg Config, ctrl Controller, n uint64) (
 	if err != nil {
 		return Result{}, fmt.Errorf("clustersim: %w", err)
 	}
-	return p.Run(n), nil
+	return p.Run(n)
 }

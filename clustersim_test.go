@@ -82,13 +82,22 @@ func TestRecorderAndInstabilityViaFacade(t *testing.T) {
 }
 
 func TestProcessorIncrementalRuns(t *testing.T) {
-	gen := clustersim.NewWorkload("mgrid", 3)
+	gen, err := clustersim.NewWorkload("mgrid", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
 	p, err := clustersim.NewProcessor(clustersim.DefaultConfig(), gen, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	r1 := p.Run(5_000)
-	r2 := p.Run(5_000)
+	r1, err := p.Run(5_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := p.Run(5_000)
+	if err != nil {
+		t.Fatal(err)
+	}
 	// Run may overshoot its target by up to one commit-width batch.
 	more := r2.Instructions - r1.Instructions
 	if more < 5_000 || more > 5_000+16 {

@@ -12,12 +12,32 @@
 //
 // Sweeps execute on a worker pool (-parallel, default GOMAXPROCS) behind a
 // content-addressed run cache shared by all experiments of one invocation;
-// results are bit-identical at any -parallel width. If any run fails, the
-// failed experiment prints no table (no partial CSVs), every failure is
-// reported at the end, and the command exits nonzero.
+// results are bit-identical at any -parallel width.
+//
+// # Crash safety
+//
+// With -checkpoint-dir set, every cacheable run snapshots its machine state
+// to <dir>/<fingerprint>.snap every -checkpoint-every committed instructions
+// and persists its finished Result to <dir>/results/<fingerprint>.json. A
+// killed sweep is picked up with -resume: persisted results preload the run
+// cache (finished cells are never re-simulated) and interrupted cells resume
+// mid-run from their snapshots. Resumed output is bit-identical to an
+// uninterrupted invocation.
+//
+// Individual run failures (panics, watchdog deadlocks, -timeout expiries) no
+// longer abort a sweep: the experiment prints a partial table with "-" in the
+// failed cells, and every failure — with its stack or machine-state dump — is
+// written to the failure manifest (-manifest, default
+// <checkpoint-dir>/failures.json) and summarized on stderr. -timeout bounds
+// each run's wall-clock time, retried -retries times with backoff (a retry
+// resumes from the run's last snapshot when checkpointing is on).
+//
+// Exit status: 0 all runs succeeded; 1 an experiment produced no output;
+// 2 usage error; 3 every experiment printed, but some cells failed.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -41,6 +61,12 @@ func main() {
 	parallel := flag.Int("parallel", 0, "sweep worker-pool width (0 = GOMAXPROCS)")
 	noCache := flag.Bool("no-cache", false, "disable the run cache (every sweep cell simulates)")
 	checkInv := flag.Bool("check", false, "validate cycle-level invariants on every run (first violation aborts the sweep)")
+	ckDir := flag.String("checkpoint-dir", "", "crash-safety directory: runs snapshot here and persist finished results for -resume")
+	ckEvery := flag.Uint64("checkpoint-every", 500_000, "instructions between mid-run snapshots when -checkpoint-dir is set (0 = only resume/cleanup)")
+	resume := flag.Bool("resume", false, "preload results persisted under -checkpoint-dir by an earlier (possibly killed) invocation")
+	timeout := flag.Duration("timeout", 0, "wall-clock budget per run attempt (0 = unlimited); expiry is a transient, retryable failure")
+	retries := flag.Int("retries", 0, "extra attempts for transient (timed-out) runs")
+	manifest := flag.String("manifest", "", "failure-manifest path (default <checkpoint-dir>/failures.json; empty without -checkpoint-dir)")
 	flag.Parse()
 
 	reg := experiments.Registry()
@@ -63,6 +89,24 @@ func main() {
 	// (e.g. the static baselines) simulate exactly once.
 	rn := runner.New(*parallel)
 	rn.DisableCache = *noCache
+	rn.Timeout = *timeout
+	rn.Retries = *retries
+	rn.CheckpointDir = *ckDir
+	if *ckDir != "" {
+		rn.CheckpointEvery = *ckEvery
+	}
+	if *resume {
+		if *ckDir == "" {
+			fmt.Fprintln(os.Stderr, "experiments: -resume requires -checkpoint-dir")
+			os.Exit(2)
+		}
+		n, err := rn.LoadPersisted()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: resume: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "experiments: resume: preloaded %d persisted result(s) from %s\n", n, *ckDir)
+	}
 	opts := experiments.Options{
 		Seed: *seed, Scale: *scale,
 		ObsDir: *obsDir, ObsSamplePeriod: *obsSample,
@@ -72,7 +116,9 @@ func main() {
 		opts.Benchmarks = strings.Split(*benches, ",")
 	}
 
-	var failed []string
+	var failed, partial []string
+	var allFailures []runner.RunError
+	var failTotal int
 	for _, id := range ids {
 		id = strings.TrimSpace(id)
 		driver, ok := reg[id]
@@ -83,9 +129,21 @@ func main() {
 		start := time.Now()
 		tables, err := driver(opts)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "experiments: %s failed: %v\n", id, err)
-			failed = append(failed, id)
-			continue
+			var se *runner.SweepError
+			if errors.As(err, &se) {
+				allFailures = append(allFailures, se.Failures...)
+				failTotal += se.Total
+			}
+			if len(tables) == 0 || se == nil {
+				fmt.Fprintf(os.Stderr, "experiments: %s failed: %v\n", id, err)
+				failed = append(failed, id)
+				continue
+			}
+			// Salvaged sweep: the successful cells still render; the
+			// failed ones show "-" and land in the failure manifest.
+			partial = append(partial, id)
+			fmt.Fprintf(os.Stderr, "experiments: %s: %d of %d runs failed; printing partial tables\n",
+				id, len(se.Failures), se.Total)
 		}
 		for _, table := range tables {
 			switch *format {
@@ -108,11 +166,38 @@ func main() {
 	if *obsDir != "" {
 		writeAggregate(*obsDir, rn)
 	}
-	if len(failed) > 0 {
+	writeManifest(*manifest, *ckDir, allFailures, failTotal)
+	switch {
+	case len(failed) > 0:
 		fmt.Fprintf(os.Stderr, "experiments: %d experiment(s) failed: %s\n",
 			len(failed), strings.Join(failed, ", "))
 		os.Exit(1)
+	case len(partial) > 0:
+		fmt.Fprintf(os.Stderr, "experiments: %d experiment(s) incomplete: %s\n",
+			len(partial), strings.Join(partial, ", "))
+		os.Exit(3)
 	}
+}
+
+// writeManifest records every failed run of the invocation as JSON for
+// post-mortems, at the explicit -manifest path or (by default) under the
+// checkpoint directory. No failures, or nowhere to write, writes nothing.
+func writeManifest(path, ckDir string, failures []runner.RunError, total int) {
+	if len(failures) == 0 {
+		return
+	}
+	if path == "" {
+		if ckDir == "" {
+			return
+		}
+		path = filepath.Join(ckDir, "failures.json")
+	}
+	se := &runner.SweepError{Failures: failures, Total: total}
+	if err := se.WriteManifest(path); err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: failure manifest: %v\n", err)
+		return
+	}
+	fmt.Fprintf(os.Stderr, "experiments: %d failure(s) recorded in %s\n", len(failures), path)
 }
 
 // writeAggregate exports the merged metrics snapshot over every observed run

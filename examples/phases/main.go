@@ -34,14 +34,19 @@ func main() {
 
 	for _, mk := range controllers {
 		ctrl := mk()
-		gen := clustersim.NewWorkload(bench, 1)
+		gen, err := clustersim.NewWorkload(bench, 1)
+		if err != nil {
+			log.Fatal(err)
+		}
 		p, err := clustersim.NewProcessor(clustersim.DefaultConfig(), gen, ctrl)
 		if err != nil {
 			log.Fatal(err)
 		}
 		var glyphs strings.Builder
 		for done := uint64(0); done < window; done += sampleEvery {
-			p.Run(sampleEvery)
+			if _, err := p.Run(sampleEvery); err != nil {
+				log.Fatal(err)
+			}
 			n := p.ActiveClusters()
 			if n >= 10 {
 				glyphs.WriteByte('*')

@@ -40,6 +40,24 @@ func fuzzBench(idx uint8) string {
 	return names[int(idx)%len(names)]
 }
 
+// runNoPanic asserts the hardened failure contract over the fuzzed space:
+// Run reports failures as errors (deadlock, stop), it never panics. Any
+// panic escaping Run — or any error on these small, valid configurations —
+// is a finding.
+func runNoPanic(t *testing.T, p *pipeline.Processor, n uint64) pipeline.Result {
+	t.Helper()
+	defer func() {
+		if r := recover(); r != nil {
+			t.Fatalf("panic escaped Run: %v", r)
+		}
+	}()
+	res, err := p.Run(n)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return res
+}
+
 // FuzzInvariants runs a fuzz-chosen benchmark on a fuzz-chosen machine with
 // a fail-fast invariant checker attached: any violated invariant (or panic)
 // is a finding.
@@ -55,7 +73,7 @@ func FuzzInvariants(f *testing.F) {
 		if err != nil {
 			t.Skip(err)
 		}
-		p.Run(3_000)
+		runNoPanic(t, p, 3_000)
 		if chk.CyclesChecked() == 0 {
 			t.Fatal("checker never ran")
 		}
@@ -76,7 +94,7 @@ func FuzzRunDeterminism(f *testing.F) {
 			if err != nil {
 				t.Skip(err)
 			}
-			return p.Run(2_000)
+			return runNoPanic(t, p, 2_000)
 		}
 		a, b := run(), run()
 		if a != b {
@@ -136,6 +154,6 @@ func FuzzCustomWorkload(f *testing.F) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		p.Run(2_000)
+		runNoPanic(t, p, 2_000)
 	})
 }

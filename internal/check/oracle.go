@@ -1,6 +1,7 @@
 package check
 
 import (
+	"bytes"
 	"fmt"
 
 	"clustersim/internal/core"
@@ -136,6 +137,68 @@ func IntervalInvariance(r *runner.Runner, bench string, seed, window uint64, cfg
 	return nil
 }
 
+// ResumeEquivalence verifies the crash-safety contract end to end: running a
+// window uninterrupted, versus running to an arbitrary interior point,
+// serializing the machine with SaveCheckpoint, restoring into a *freshly
+// constructed* processor (as a restarted process would) and finishing there,
+// must yield byte-identical Results. mkCtrl builds the run's controller (nil
+// for static); a fresh instance is built per machine so no state leaks
+// between the interrupted and resumed halves outside the snapshot itself.
+func ResumeEquivalence(bench string, seed, window, at uint64, cfg pipeline.Config, mkCtrl func() pipeline.Controller) error {
+	if at == 0 || at >= window {
+		return fmt.Errorf("check: ResumeEquivalence checkpoint %d outside (0,%d)", at, window)
+	}
+	build := func() (*pipeline.Processor, error) {
+		gen, err := workload.New(bench, seed)
+		if err != nil {
+			return nil, err
+		}
+		var ctrl pipeline.Controller
+		if mkCtrl != nil {
+			ctrl = mkCtrl()
+		}
+		return pipeline.New(cfg, gen, ctrl)
+	}
+
+	p1, err := build()
+	if err != nil {
+		return err
+	}
+	whole, err := p1.Run(window)
+	if err != nil {
+		return err
+	}
+
+	p2, err := build()
+	if err != nil {
+		return err
+	}
+	if _, err := p2.Run(at); err != nil {
+		return err
+	}
+	var snapBuf bytes.Buffer
+	if err := p2.SaveCheckpoint(&snapBuf); err != nil {
+		return err
+	}
+
+	p3, err := build()
+	if err != nil {
+		return err
+	}
+	if err := p3.LoadCheckpoint(bytes.NewReader(snapBuf.Bytes())); err != nil {
+		return err
+	}
+	resumed, err := p3.Run(window - p3.Committed())
+	if err != nil {
+		return err
+	}
+	if resumed != whole {
+		return fmt.Errorf("check: %s resume at %d diverges from uninterrupted run:\n  whole:   %+v\n  resumed: %+v",
+			bench, at, whole, resumed)
+	}
+	return nil
+}
+
 // ChunkInvariance verifies that simulating a window in one Run call and in
 // several smaller Run calls yields identical cumulative Results: Run only
 // advances the machine, so how the caller slices the window cannot matter.
@@ -162,7 +225,10 @@ func ChunkInvariance(bench string, seed, window uint64, cfg pipeline.Config, chu
 		for i := 1; i <= parts; i++ {
 			next := window * uint64(i) / uint64(parts)
 			if next > committed {
-				res = p.Run(next - committed)
+				res, err = p.Run(next - committed)
+				if err != nil {
+					return res, err
+				}
 				committed = res.Instructions
 			}
 		}

@@ -3,6 +3,7 @@ package check
 import (
 	"testing"
 
+	"clustersim/internal/core"
 	"clustersim/internal/pipeline"
 	"clustersim/internal/runner"
 	"clustersim/internal/workload"
@@ -100,5 +101,42 @@ func TestChunkInvarianceMatrix(t *testing.T) {
 func TestChunkInvarianceRejectsBadChunks(t *testing.T) {
 	if err := ChunkInvariance("gzip", 1, 1_000, pipeline.DefaultConfig(), 1); err == nil {
 		t.Fatal("expected an error for chunks < 2")
+	}
+}
+
+// TestResumeEquivalenceMatrix: checkpoint/restore into a fresh machine is
+// invisible to the simulation across every benchmark and every controller
+// family — the paper-facing guarantee behind crash-safe sweeps. The
+// checkpoint lands at an odd interior point so it never aligns with interval
+// or basic-block boundaries.
+func TestResumeEquivalenceMatrix(t *testing.T) {
+	window := matrixWindow(t)
+	at := window/3 + 137
+	policies := []struct {
+		name string
+		mk   func() pipeline.Controller
+	}{
+		{"static", nil},
+		{"explore", func() pipeline.Controller { return core.NewExplore(core.ExploreConfig{}) }},
+		{"distant-ilp", func() pipeline.Controller { return core.NewDistantILP(core.DistantILPConfig{}) }},
+		{"finegrain", func() pipeline.Controller { return core.NewFineGrain(core.FineGrainConfig{}) }},
+	}
+	for _, bench := range oracleBenches(t) {
+		for _, pol := range policies {
+			bench, pol := bench, pol
+			t.Run(bench+"/"+pol.name, func(t *testing.T) {
+				t.Parallel()
+				cfg := pipeline.DefaultConfig()
+				if err := ResumeEquivalence(bench, 1, window, at, cfg, pol.mk); err != nil {
+					t.Error(err)
+				}
+			})
+		}
+	}
+}
+
+func TestResumeEquivalenceRejectsBadCheckpointPoint(t *testing.T) {
+	if err := ResumeEquivalence("gzip", 1, 1_000, 1_000, pipeline.DefaultConfig(), nil); err == nil {
+		t.Fatal("expected an error for a checkpoint at/after the window")
 	}
 }

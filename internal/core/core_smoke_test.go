@@ -32,7 +32,7 @@ func TestControllerSmoke(t *testing.T) {
 		} {
 			ctrl := mk()
 			p := pipeline.MustNew(pipeline.DefaultConfig(), workload.MustNew(name, 1), ctrl)
-			r := p.Run(w)
+			r := mustRun(t, p, w)
 			line += fmt.Sprintf(" %s:%.2f", r.Policy, r.IPC())
 			if _, ok := ctrl.(*Static); ok {
 				if r.IPC() > best {
@@ -45,4 +45,14 @@ func TestControllerSmoke(t *testing.T) {
 		fmt.Printf("%s  [best-static %.2f | explore %+.0f%% dilp %+.0f%% fg %+.0f%% fgcr %+.0f%%]\n", line, best,
 			100*(dyn[0]/best-1), 100*(dyn[1]/best-1), 100*(dyn[2]/best-1), 100*(dyn[3]/best-1))
 	}
+}
+
+// mustRun advances p by n committed instructions, failing the test on error.
+func mustRun(tb testing.TB, p *pipeline.Processor, n uint64) pipeline.Result {
+	tb.Helper()
+	res, err := p.Run(n)
+	if err != nil {
+		tb.Fatalf("Run: %v", err)
+	}
+	return res
 }

@@ -20,7 +20,7 @@ func TestDistCacheSmoke(t *testing.T) {
 			cfg := pipeline.DefaultConfig()
 			cfg.Cache = pipeline.DecentralizedCache
 			p := pipeline.MustNew(cfg, workload.MustNew(name, 1), mk())
-			r := p.Run(700_000)
+			r := mustRun(t, p, 700_000)
 			line += fmt.Sprintf(" %s:%.2f(rc %d, fw %d)", r.Policy, r.IPC(), r.Reconfigs, r.Mem.FlushWritebacks)
 		}
 		fmt.Println(line)

@@ -8,6 +8,7 @@
 package experiments
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"os"
@@ -198,6 +199,37 @@ func (o Options) sweeper() *runner.Runner {
 	return runner.New(o.Parallel)
 }
 
+// salvageable reports whether a sweep error still left usable Results: a
+// *runner.SweepError carries every successful cell of the batch (failed cells
+// are zero Results), so the driver can render a partial table and return it
+// alongside the error. Any other error means the batch never ran.
+func salvageable(err error) bool {
+	var se *runner.SweepError
+	return errors.As(err, &se)
+}
+
+// failed reports whether a sweep cell's Result is a salvage gap: a
+// successful run always commits instructions, so only a failed (or never
+// executed) cell has the zero Result.
+func failed(r pipeline.Result) bool { return r.Instructions == 0 }
+
+// ipcCell renders a run's IPC, or "-" when the cell's run failed.
+func ipcCell(r pipeline.Result) Cell {
+	if failed(r) {
+		return Str("-")
+	}
+	return Num(r.IPC(), 2)
+}
+
+// numOrDash renders v with prec decimals, or "-" when v carries no data
+// (zero or NaN — the aggregate of an all-failed column).
+func numOrDash(v float64, prec int) Cell {
+	if v == 0 || math.IsNaN(v) {
+		return Str("-")
+	}
+	return Num(v, prec)
+}
+
 // request builds one sweep cell: benchmark bench under controller ctrl for
 // the experiment named id. When Options.ObsDir is set, the run carries its
 // own observability registry plus cycle-sampled probes and writes
@@ -261,19 +293,24 @@ func writeObsArtifacts(dir, id string, res pipeline.Result, ob *obs.Observer) {
 	export(base+".metrics.json", func(f *os.File) error { return ob.Registry.Snapshot().WriteJSON(f) })
 }
 
-// one adapts a single-table driver to the registry signature.
+// one adapts a single-table driver to the registry signature. A table is
+// passed through even when the driver also reports an error: partial tables
+// (salvaged from a *runner.SweepError) carry both.
 func one(f func(Options) (*Table, error)) func(Options) ([]*Table, error) {
 	return func(o Options) ([]*Table, error) {
 		t, err := f(o)
-		if err != nil {
+		if t == nil {
 			return nil, err
 		}
-		return []*Table{t}, nil
+		return []*Table{t}, err
 	}
 }
 
-// Registry maps experiment IDs to their drivers. A driver returns no tables
-// when any of its runs fail: partial artifacts are never emitted.
+// Registry maps experiment IDs to their drivers. When some of a driver's runs
+// fail with a *runner.SweepError, the driver salvages the sweep: it returns
+// the table built from the successful cells (failed cells render as "-")
+// alongside the error, so hours of completed simulation are never discarded
+// because one cell crashed. Any other error yields no tables.
 func Registry() map[string]func(Options) ([]*Table, error) {
 	return map[string]func(Options) ([]*Table, error){
 		"params": one(func(o Options) (*Table, error) { return Params(), nil }),

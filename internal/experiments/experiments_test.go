@@ -1,8 +1,10 @@
 package experiments
 
 import (
+	"errors"
 	"strings"
 	"testing"
+	"time"
 
 	"clustersim/internal/runner"
 )
@@ -301,5 +303,57 @@ func TestCheckedSweep(t *testing.T) {
 	if st.Runs != 2*first {
 		t.Fatalf("checked sweep reused cached runs: %d runs after, %d before (cache hits %d)",
 			st.Runs, first, st.CacheHits)
+	}
+}
+
+// TestSalvagePartialTable: when every run of a sweep times out, the driver
+// still returns its table — every measured cell a "-" — alongside the
+// *runner.SweepError, so a long sweep's surviving cells are never thrown
+// away because some cells crashed.
+func TestSalvagePartialTable(t *testing.T) {
+	rn := runner.New(1)
+	rn.Timeout = time.Millisecond
+	o := tinyOpts()
+	o.Runner = rn
+	tab, err := Fig3(o)
+	if err == nil {
+		t.Fatal("expected a sweep error")
+	}
+	var se *runner.SweepError
+	if !errors.As(err, &se) {
+		t.Fatalf("want *SweepError, got %T: %v", err, err)
+	}
+	if tab == nil {
+		t.Fatal("salvageable failure returned no table")
+	}
+	for _, row := range tab.Rows {
+		for _, c := range row.Cells {
+			if c.Text != "-" {
+				t.Fatalf("failed cell rendered data: %+v", row)
+			}
+		}
+	}
+
+	// The registry adapter passes partial tables through with the error.
+	tabs, err := Registry()["fig3"](o)
+	if err == nil || len(tabs) != 1 {
+		t.Fatalf("adapter dropped the partial table: %v, %v", tabs, err)
+	}
+}
+
+// TestSalvageMixedCells: with a healthy runner the same sweep renders real
+// numbers, so the dash rendering above is specifically the failure path.
+func TestSalvageMixedCells(t *testing.T) {
+	o := tinyOpts()
+	tab, err := Fig3(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tab.Rows {
+		for _, c := range row.Cells {
+			if c.Text == "-" {
+				t.Fatalf("healthy sweep rendered a gap: %+v", row)
+			}
+		}
 	}
 }

@@ -33,12 +33,22 @@ func Energy(o Options) (*Table, error) {
 	}
 	rs, err := o.sweeper().RunAll(reqs)
 	if err != nil {
-		return nil, fmt.Errorf("ext-energy: %w", err)
+		err = fmt.Errorf("ext-energy: %w", err)
+		if !salvageable(err) {
+			return nil, err
+		}
 	}
 	model := energy.DefaultModel()
-	var disabledSum float64
+	var disabled []float64
 	for i, b := range benches {
 		rstatic, radapt := rs[2*i], rs[2*i+1]
+		if failed(rstatic) || failed(radapt) {
+			// The energy comparison needs both halves of the pair.
+			t.Rows = append(t.Rows, Row{Name: b, Cells: []Cell{
+				ipcCell(rstatic), ipcCell(radapt), Str("-"), Str("-"), Str("-"),
+			}})
+			continue
+		}
 		act := func(r pipeline.Result) energy.Activity {
 			return energy.Activity{
 				Cycles:               r.Cycles,
@@ -50,19 +60,19 @@ func Energy(o Options) (*Table, error) {
 		}
 		saving := model.LeakageSavings(act(radapt), 16)
 		edpRatio := model.EDP(act(radapt)) / model.EDP(act(rstatic))
-		disabled := 16 - radapt.AvgActiveClusters()
-		disabledSum += disabled
+		off := 16 - radapt.AvgActiveClusters()
+		disabled = append(disabled, off)
 		t.Rows = append(t.Rows, Row{Name: b, Cells: []Cell{
 			Num(rstatic.IPC(), 2),
 			Num(radapt.IPC(), 2),
-			Num(disabled, 1),
+			Num(off, 1),
 			Num(100*saving, 0),
 			Num(edpRatio, 2),
 		}})
 	}
 	t.Notes = append(t.Notes, fmt.Sprintf("avg clusters disabled: %.1f of 16 (paper: 8.3)",
-		disabledSum/float64(len(benches))))
-	return t, nil
+		mean(disabled)))
+	return t, err
 }
 
 // SMT evaluates the paper's future-work proposal (§1, §8): dedicating

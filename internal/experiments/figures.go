@@ -29,20 +29,27 @@ func Table3(o Options) (*Table, error) {
 	}
 	rs, err := o.sweeper().RunAll(reqs)
 	if err != nil {
-		return nil, fmt.Errorf("table3: %w", err)
+		err = fmt.Errorf("table3: %w", err)
+		if !salvageable(err) {
+			return nil, err
+		}
 	}
 	for i, b := range benches {
 		pd, _ := workload.Paper(b)
 		r := rs[i]
+		mispred := Str("-")
+		if !failed(r) {
+			mispred = Num(r.MispredictInterval(), 0)
+		}
 		t.Rows = append(t.Rows, Row{Name: b, Cells: []Cell{
 			Str(pd.Suite),
-			Num(r.IPC(), 2),
+			ipcCell(r),
 			Num(pd.BaseIPC, 2),
-			Num(r.MispredictInterval(), 0),
+			mispred,
 			Num(pd.MispredictInterval, 0),
 		}})
 	}
-	return t, nil
+	return t, err
 }
 
 // Fig3 reproduces Figure 3: IPC of statically fixed 2/4/8/16-cluster
@@ -65,22 +72,29 @@ func Fig3(o Options) (*Table, error) {
 	}
 	rs, err := o.sweeper().RunAll(reqs)
 	if err != nil {
-		return nil, fmt.Errorf("fig3: %w", err)
+		err = fmt.Errorf("fig3: %w", err)
+		if !salvageable(err) {
+			return nil, err
+		}
 	}
 	for bi, b := range benches {
 		row := Row{Name: b}
 		best, bestN := 0.0, 0
 		for ci, n := range counts {
 			r := rs[bi*len(counts)+ci]
-			row.Cells = append(row.Cells, Num(r.IPC(), 2))
-			if r.IPC() > best {
+			row.Cells = append(row.Cells, ipcCell(r))
+			if !failed(r) && r.IPC() > best {
 				best, bestN = r.IPC(), n
 			}
 		}
-		row.Cells = append(row.Cells, Str(fmt.Sprintf("%d", bestN)))
+		bestCell := Str("-")
+		if bestN > 0 {
+			bestCell = Str(fmt.Sprintf("%d", bestN))
+		}
+		row.Cells = append(row.Cells, bestCell)
 		t.Rows = append(t.Rows, row)
 	}
-	return t, nil
+	return t, err
 }
 
 // Table4 reproduces the instability-factor analysis: the minimum interval
@@ -107,15 +121,28 @@ func Table4(o Options) (*Table, error) {
 		req.NoCache = true
 		reqs[i] = req
 	}
-	if _, err := o.sweeper().RunAll(reqs); err != nil {
-		return nil, fmt.Errorf("table4: %w", err)
+	rs, err := o.sweeper().RunAll(reqs)
+	if err != nil {
+		err = fmt.Errorf("table4: %w", err)
+		if !salvageable(err) {
+			return nil, err
+		}
 	}
 	for i, b := range benches {
+		pd, _ := workload.Paper(b)
+		if failed(rs[i]) {
+			// The run died: its recorder's trace is partial at best.
+			t.Rows = append(t.Rows, Row{Name: b, Cells: []Cell{
+				Str("-"), Str("-"), Str("-"),
+				Num(pd.MinStableInterval, 0),
+				Num(pd.InstabilityAt10K, 0),
+			}})
+			continue
+		}
 		trace := recs[i].Intervals()
 		th := stats.DefaultThresholds()
 		minLen, factor := stats.MinStableInterval(trace, 10_000, mults, 5, th)
 		at10K := stats.Instability(trace, th)
-		pd, _ := workload.Paper(b)
 		t.Rows = append(t.Rows, Row{Name: b, Cells: []Cell{
 			Num(float64(minLen), 0),
 			Num(factor, 1),
@@ -124,7 +151,7 @@ func Table4(o Options) (*Table, error) {
 			Num(pd.InstabilityAt10K, 0),
 		}})
 	}
-	return t, nil
+	return t, err
 }
 
 // schemeSweep submits one request per benchmark×scheme cell (bench-major
@@ -138,18 +165,20 @@ func schemeSweep(o Options, id string, cfg pipeline.Config, mks []func() pipelin
 		}
 	}
 	flat, err := o.sweeper().RunAll(reqs)
-	if err != nil {
+	if err != nil && !salvageable(err) {
 		return nil, err
 	}
 	out := make([][]pipeline.Result, len(benches))
 	for bi := range benches {
 		out[bi] = flat[bi*len(mks) : (bi+1)*len(mks)]
 	}
-	return out, nil
+	return out, err
 }
 
 // summarize appends a geomean row plus improvement-vs-best-static notes.
-// staticCols identifies which columns are static configurations.
+// staticCols identifies which columns are static configurations. Failed cells
+// of a salvaged sweep carry IPC 0 and are excluded from the aggregates; a
+// column with no surviving cells renders "-".
 func summarize(t *Table, ipcs map[string][]float64, staticCols []int) {
 	if len(ipcs) == 0 {
 		return
@@ -159,7 +188,7 @@ func summarize(t *Table, ipcs map[string][]float64, staticCols []int) {
 	for c := 0; c < cols; c++ {
 		var vals []float64
 		for _, row := range ipcs {
-			if c < len(row) {
+			if c < len(row) && row[c] > 0 {
 				vals = append(vals, row[c])
 			}
 		}
@@ -167,7 +196,7 @@ func summarize(t *Table, ipcs map[string][]float64, staticCols []int) {
 	}
 	row := Row{Name: "geomean"}
 	for _, v := range gm {
-		row.Cells = append(row.Cells, Num(v, 2))
+		row.Cells = append(row.Cells, numOrDash(v, 2))
 	}
 	t.Rows = append(t.Rows, row)
 	bestStatic := 0.0
@@ -183,7 +212,7 @@ func summarize(t *Table, ipcs map[string][]float64, staticCols []int) {
 				isStatic = true
 			}
 		}
-		if isStatic || bestStatic == 0 {
+		if isStatic || bestStatic == 0 || gm[c] == 0 {
 			continue
 		}
 		t.Notes = append(t.Notes, fmt.Sprintf("%s vs best static (geomean): %+.1f%%",
@@ -210,16 +239,19 @@ func Fig5(o Options) (*Table, error) {
 	}
 	sweep, err := schemeSweep(o, "fig5", pipeline.DefaultConfig(), mks)
 	if err != nil {
-		return nil, fmt.Errorf("fig5: %w", err)
+		err = fmt.Errorf("fig5: %w", err)
+		if sweep == nil {
+			return nil, err
+		}
 	}
 	ipcs := map[string][]float64{}
 	var exploreDistant, exploreReconf []float64
 	for bi, b := range o.benchmarks() {
 		row := Row{Name: b}
 		for i, r := range sweep[bi] {
-			row.Cells = append(row.Cells, Num(r.IPC(), 2))
+			row.Cells = append(row.Cells, ipcCell(r))
 			ipcs[b] = append(ipcs[b], r.IPC())
-			if i == 2 {
+			if i == 2 && !failed(r) {
 				exploreDistant = append(exploreDistant, r.DistantILPFraction())
 				exploreReconf = append(exploreReconf, r.ReconfigsPerMInstr())
 			}
@@ -230,7 +262,7 @@ func Fig5(o Options) (*Table, error) {
 	t.Notes = append(t.Notes, fmt.Sprintf(
 		"explore scheme: mean distant-ILP fraction %.2f, %.0f reconfigurations per M instructions",
 		mean(exploreDistant), mean(exploreReconf)))
-	return t, nil
+	return t, err
 }
 
 // Fig6 reproduces Figure 6: the fine-grained reconfiguration schemes
@@ -250,19 +282,22 @@ func Fig6(o Options) (*Table, error) {
 	}
 	sweep, err := schemeSweep(o, "fig6", pipeline.DefaultConfig(), mks)
 	if err != nil {
-		return nil, fmt.Errorf("fig6: %w", err)
+		err = fmt.Errorf("fig6: %w", err)
+		if sweep == nil {
+			return nil, err
+		}
 	}
 	ipcs := map[string][]float64{}
 	for bi, b := range o.benchmarks() {
 		row := Row{Name: b}
 		for _, r := range sweep[bi] {
-			row.Cells = append(row.Cells, Num(r.IPC(), 2))
+			row.Cells = append(row.Cells, ipcCell(r))
 			ipcs[b] = append(ipcs[b], r.IPC())
 		}
 		t.Rows = append(t.Rows, row)
 	}
 	summarize(t, ipcs, []int{0, 1})
-	return t, nil
+	return t, err
 }
 
 // Fig7 reproduces Figure 7: the decentralized cache model under the
@@ -284,7 +319,10 @@ func Fig7(o Options) (*Table, error) {
 	}
 	sweep, err := schemeSweep(o, "fig7", cfg, mks)
 	if err != nil {
-		return nil, fmt.Errorf("fig7: %w", err)
+		err = fmt.Errorf("fig7: %w", err)
+		if sweep == nil {
+			return nil, err
+		}
 	}
 	ipcs := map[string][]float64{}
 	var flushWB, flushes uint64
@@ -292,9 +330,9 @@ func Fig7(o Options) (*Table, error) {
 	for bi, b := range o.benchmarks() {
 		row := Row{Name: b}
 		for i, r := range sweep[bi] {
-			row.Cells = append(row.Cells, Num(r.IPC(), 2))
+			row.Cells = append(row.Cells, ipcCell(r))
 			ipcs[b] = append(ipcs[b], r.IPC())
-			if i == 2 {
+			if i == 2 && !failed(r) {
 				flushWB += r.Mem.FlushWritebacks
 				flushes += r.Mem.Flushes
 				exploreReconf = append(exploreReconf, r.ReconfigsPerMInstr())
@@ -309,7 +347,7 @@ func Fig7(o Options) (*Table, error) {
 	t.Notes = append(t.Notes, fmt.Sprintf(
 		"explore scheme: mean %.0f reconfigurations per M instructions",
 		mean(exploreReconf)))
-	return t, nil
+	return t, err
 }
 
 // Fig8 reproduces Figure 8: the grid interconnect under the exploration
@@ -329,17 +367,20 @@ func Fig8(o Options) (*Table, error) {
 	}
 	sweep, err := schemeSweep(o, "fig8", cfg, mks)
 	if err != nil {
-		return nil, fmt.Errorf("fig8: %w", err)
+		err = fmt.Errorf("fig8: %w", err)
+		if sweep == nil {
+			return nil, err
+		}
 	}
 	ipcs := map[string][]float64{}
 	for bi, b := range o.benchmarks() {
 		row := Row{Name: b}
 		for _, r := range sweep[bi] {
-			row.Cells = append(row.Cells, Num(r.IPC(), 2))
+			row.Cells = append(row.Cells, ipcCell(r))
 			ipcs[b] = append(ipcs[b], r.IPC())
 		}
 		t.Rows = append(t.Rows, row)
 	}
 	summarize(t, ipcs, []int{0, 1})
-	return t, nil
+	return t, err
 }

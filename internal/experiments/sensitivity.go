@@ -63,15 +63,22 @@ func Sensitivity(o Options) (*Table, error) {
 	}
 	rs, err := o.sweeper().RunAll(reqs)
 	if err != nil {
-		return nil, fmt.Errorf("sens: %w", err)
+		err = fmt.Errorf("sens: %w", err)
+		if !salvageable(err) {
+			return nil, err
+		}
 	}
 	for vi, v := range variants {
-		// Geomean IPC over the benchmark set per scheme.
+		// Geomean IPC over the benchmark set per scheme. In a salvaged
+		// sweep the failed cells are excluded, so an aggregate may cover
+		// a subset of the benchmarks (or nothing, rendering "-").
 		var per [4][]float64
 		for bi := range benches {
 			base := (vi*len(benches) + bi) * schemes
 			for si := 0; si < schemes; si++ {
-				per[si] = append(per[si], rs[base+si].IPC())
+				if r := rs[base+si]; !failed(r) {
+					per[si] = append(per[si], r.IPC())
+				}
 			}
 		}
 		gms := make([]float64, 0, 4)
@@ -84,15 +91,19 @@ func Sensitivity(o Options) (*Table, error) {
 				bestStatic = g
 			}
 		}
-		improve := 100 * (gms[3]/bestStatic - 1)
+		improveCell := Str(fmt.Sprintf("- (paper %s)", v.paper))
+		if bestStatic > 0 && gms[3] > 0 {
+			improve := 100 * (gms[3]/bestStatic - 1)
+			improveCell = Str(fmt.Sprintf("%+.1f%% (paper %s)", improve, v.paper))
+		}
 		t.Rows = append(t.Rows, Row{Name: v.name, Cells: []Cell{
-			Num(gms[0], 2), Num(gms[1], 2), Num(gms[2], 2), Num(gms[3], 2),
-			Str(fmt.Sprintf("%+.1f%% (paper %s)", improve, v.paper)),
+			numOrDash(gms[0], 2), numOrDash(gms[1], 2), numOrDash(gms[2], 2), numOrDash(gms[3], 2),
+			improveCell,
 		}})
 	}
 	t.Notes = append(t.Notes,
 		"cells are geomean IPC over the benchmark set; improve% compares explore to the best static geomean")
-	return t, nil
+	return t, err
 }
 
 // Ablations reproduces the paper's in-text idealization studies: zero-cost
@@ -142,14 +153,19 @@ func Ablations(o Options) (*Table, error) {
 	}
 	rs, err := o.sweeper().RunAll(reqs)
 	if err != nil {
-		return nil, fmt.Errorf("ablate: %w", err)
+		err = fmt.Errorf("ablate: %w", err)
+		if !salvageable(err) {
+			return nil, err
+		}
 	}
 
 	var centralBase, distBase float64
 	for vi, v := range variants {
 		var ipcs []float64
 		for bi := range benches {
-			ipcs = append(ipcs, rs[vi*len(benches)+bi].IPC())
+			if r := rs[vi*len(benches)+bi]; !failed(r) {
+				ipcs = append(ipcs, r.IPC())
+			}
 		}
 		gm := geomean(ipcs)
 		base := centralBase
@@ -163,23 +179,28 @@ func Ablations(o Options) (*Table, error) {
 		case "dist-base":
 			distBase = gm
 		default:
-			vs = fmt.Sprintf("%+.1f%%", 100*(gm/base-1))
+			if base > 0 && gm > 0 {
+				vs = fmt.Sprintf("%+.1f%%", 100*(gm/base-1))
+			}
 		}
 		t.Rows = append(t.Rows, Row{Name: v.name, Cells: []Cell{
-			Num(gm, 2), Str(vs), Str(v.paper),
+			numOrDash(gm, 2), Str(vs), Str(v.paper),
 		}})
 	}
 
-	// Communication latency and disabled-cluster statistics.
+	// Communication latency and disabled-cluster statistics (over the runs
+	// that survived, in a salvaged sweep).
 	var regLat []float64
 	var disabled []float64
 	for bi := range benches {
 		r := rs[commBase+2*bi]
-		if r.RegTransfers > 0 {
+		if !failed(r) && r.RegTransfers > 0 {
 			regLat = append(regLat, r.AvgRegCommLatency())
 		}
 		re := rs[commBase+2*bi+1]
-		disabled = append(disabled, 16-re.AvgActiveClusters())
+		if !failed(re) {
+			disabled = append(disabled, 16-re.AvgActiveClusters())
+		}
 	}
 	t.Notes = append(t.Notes, fmt.Sprintf(
 		"avg inter-cluster register communication latency at 16 clusters: %.1f cycles (paper: 4.1)",
@@ -187,7 +208,7 @@ func Ablations(o Options) (*Table, error) {
 	t.Notes = append(t.Notes, fmt.Sprintf(
 		"avg clusters disabled by the exploration scheme: %.1f of 16 (paper: 8.3)",
 		mean(disabled)))
-	return t, nil
+	return t, err
 }
 
 func mean(vs []float64) float64 {

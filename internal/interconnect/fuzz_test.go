@@ -34,7 +34,7 @@ func FuzzCalendarReserve(f *testing.F) {
 func FuzzRingSend(f *testing.F) {
 	f.Add([]byte{0, 1, 2, 3, 4, 5})
 	f.Fuzz(func(t *testing.T, data []byte) {
-		r := NewRing(16, 1)
+		r := MustNewRing(16, 1)
 		for i := 0; i+2 < len(data) && i < 300; i += 3 {
 			ready := uint64(data[i])
 			a := int(data[i+1]) % 16

@@ -181,17 +181,29 @@ type Ring struct {
 }
 
 // NewRing returns a ring network over n clusters with the given per-hop
-// latency in cycles. It panics if n < 1 or hopLatency < 1.
-func NewRing(n int, hopLatency int) *Ring {
+// latency in cycles. Invalid parameters (n < 1 or hopLatency < 1) are a
+// configuration error, reachable from the public API, and are reported as
+// such rather than panicking.
+func NewRing(n int, hopLatency int) (*Ring, error) {
 	if n < 1 || hopLatency < 1 {
-		panic(fmt.Sprintf("interconnect: invalid ring n=%d hopLatency=%d", n, hopLatency))
+		return nil, fmt.Errorf("interconnect: invalid ring n=%d hopLatency=%d (both must be >= 1)", n, hopLatency)
 	}
 	return &Ring{
 		n:      n,
 		hopLat: uint64(hopLatency),
 		cw:     newCalendars(n),
 		ccw:    newCalendars(n),
+	}, nil
+}
+
+// MustNewRing is NewRing but panics on error; for tests and internal callers
+// with statically valid parameters.
+func MustNewRing(n int, hopLatency int) *Ring {
+	r, err := NewRing(n, hopLatency)
+	if err != nil {
+		panic(err)
 	}
+	return r
 }
 
 // SetFree switches the ring into an idealized zero-cost mode used by the
@@ -362,11 +374,12 @@ type Grid struct {
 }
 
 // NewGrid returns a grid network over n clusters laid out in the most
-// square arrangement whose width*height >= n (4x4 for 16). It panics if
-// n < 1 or hopLatency < 1.
-func NewGrid(n int, hopLatency int) *Grid {
+// square arrangement whose width*height >= n (4x4 for 16). Invalid
+// parameters (n < 1 or hopLatency < 1) are a configuration error, reachable
+// from the public API, and are reported as such rather than panicking.
+func NewGrid(n int, hopLatency int) (*Grid, error) {
 	if n < 1 || hopLatency < 1 {
-		panic(fmt.Sprintf("interconnect: invalid grid n=%d hopLatency=%d", n, hopLatency))
+		return nil, fmt.Errorf("interconnect: invalid grid n=%d hopLatency=%d (both must be >= 1)", n, hopLatency)
 	}
 	w := 1
 	for w*w < n {
@@ -381,7 +394,17 @@ func NewGrid(n int, hopLatency int) *Grid {
 		n: n, w: w, h: h,
 		hopLat: uint64(hopLatency),
 		links:  newCalendars(w * h * 4),
+	}, nil
+}
+
+// MustNewGrid is NewGrid but panics on error; for tests and internal callers
+// with statically valid parameters.
+func MustNewGrid(n int, hopLatency int) *Grid {
+	g, err := NewGrid(n, hopLatency)
+	if err != nil {
+		panic(err)
 	}
+	return g
 }
 
 // SetFree switches the grid into idealized zero-cost mode.

@@ -6,7 +6,7 @@ import (
 )
 
 func TestRingHops(t *testing.T) {
-	r := NewRing(16, 1)
+	r := MustNewRing(16, 1)
 	cases := []struct{ a, b, want int }{
 		{0, 0, 0}, {0, 1, 1}, {0, 8, 8}, {0, 9, 7}, {0, 15, 1}, {3, 1, 2}, {15, 0, 1},
 	}
@@ -19,7 +19,7 @@ func TestRingHops(t *testing.T) {
 
 func TestRingWorstCaseHops(t *testing.T) {
 	// Paper §2.3: 16-cluster ring has maximum 8 hops.
-	r := NewRing(16, 1)
+	r := MustNewRing(16, 1)
 	max := 0
 	for a := 0; a < 16; a++ {
 		for b := 0; b < 16; b++ {
@@ -35,7 +35,7 @@ func TestRingWorstCaseHops(t *testing.T) {
 
 func TestGridWorstCaseHops(t *testing.T) {
 	// Paper §2.3: 16-cluster grid has maximum 6 hops.
-	g := NewGrid(16, 1)
+	g := MustNewGrid(16, 1)
 	max := 0
 	for a := 0; a < 16; a++ {
 		for b := 0; b < 16; b++ {
@@ -50,8 +50,8 @@ func TestGridWorstCaseHops(t *testing.T) {
 }
 
 func TestHopsSymmetricNonNegative(t *testing.T) {
-	r := NewRing(16, 1)
-	g := NewGrid(16, 1)
+	r := MustNewRing(16, 1)
+	g := MustNewGrid(16, 1)
 	f := func(a, b uint8) bool {
 		ai, bi := int(a%16), int(b%16)
 		for _, n := range []Network{r, g} {
@@ -71,28 +71,28 @@ func TestHopsSymmetricNonNegative(t *testing.T) {
 }
 
 func TestSendLatencyNoContention(t *testing.T) {
-	r := NewRing(16, 1)
+	r := MustNewRing(16, 1)
 	if got := r.Send(100, 0, 2); got != 102 {
 		t.Errorf("ring send 2 hops arrived at %d, want 102", got)
 	}
 	if got := r.Send(200, 5, 5); got != 200 {
 		t.Errorf("self send should be free, got %d", got)
 	}
-	g := NewGrid(16, 1)
+	g := MustNewGrid(16, 1)
 	if got := g.Send(100, 0, 5); got != 102 { // (0,0)->(1,1): 2 hops
 		t.Errorf("grid send arrived at %d, want 102", got)
 	}
 }
 
 func TestSendHopLatencyScaling(t *testing.T) {
-	r := NewRing(16, 2)
+	r := MustNewRing(16, 2)
 	if got := r.Send(10, 0, 3); got != 16 { // 3 hops x 2 cycles
 		t.Errorf("arrival %d, want 16", got)
 	}
 }
 
 func TestRingContention(t *testing.T) {
-	r := NewRing(16, 1)
+	r := MustNewRing(16, 1)
 	// Two messages leaving node 0 clockwise at the same cycle must
 	// serialize on the first link.
 	t1 := r.Send(10, 0, 1)
@@ -110,7 +110,7 @@ func TestRingContention(t *testing.T) {
 }
 
 func TestGridContention(t *testing.T) {
-	g := NewGrid(16, 1)
+	g := MustNewGrid(16, 1)
 	t1 := g.Send(10, 0, 1)
 	t2 := g.Send(10, 0, 2)
 	if t1 != 11 {
@@ -124,7 +124,7 @@ func TestGridContention(t *testing.T) {
 func TestOutOfOrderReservations(t *testing.T) {
 	// A transfer reserved far in the future must not delay one wanted
 	// earlier (the calendar property the scalar next-free model lacked).
-	r := NewRing(16, 1)
+	r := MustNewRing(16, 1)
 	late := r.Send(1000, 0, 1)
 	early := r.Send(10, 0, 1)
 	if late != 1001 {
@@ -138,7 +138,7 @@ func TestOutOfOrderReservations(t *testing.T) {
 func TestArrivalMonotonicity(t *testing.T) {
 	// Arrival is never before ready + hops*hopLat.
 	f := func(ready uint32, a, b uint8) bool {
-		r := NewRing(16, 1)
+		r := MustNewRing(16, 1)
 		ai, bi := int(a%16), int(b%16)
 		arr := r.Send(uint64(ready), ai, bi)
 		return arr >= uint64(ready)+uint64(r.Hops(ai, bi))
@@ -147,7 +147,7 @@ func TestArrivalMonotonicity(t *testing.T) {
 		t.Fatal(err)
 	}
 	g := func(ready uint32, a, b uint8) bool {
-		gr := NewGrid(16, 1)
+		gr := MustNewGrid(16, 1)
 		ai, bi := int(a%16), int(b%16)
 		arr := gr.Send(uint64(ready), ai, bi)
 		return arr >= uint64(ready)+uint64(gr.Hops(ai, bi))
@@ -158,7 +158,7 @@ func TestArrivalMonotonicity(t *testing.T) {
 }
 
 func TestBroadcastCoversActivePrefix(t *testing.T) {
-	r := NewRing(16, 1)
+	r := MustNewRing(16, 1)
 	// Broadcast from 0 to actives {0..3}: worst leg is 3 hops one way or
 	// split across directions; arrival must be >= 2 (ceil(3/2) with both
 	// directions) and >= unicast max if single-direction.
@@ -169,14 +169,14 @@ func TestBroadcastCoversActivePrefix(t *testing.T) {
 	if r.Broadcast(100, 0, 1) != 100 {
 		t.Fatal("broadcast to self-only set should be free")
 	}
-	g := NewGrid(16, 1)
+	g := MustNewGrid(16, 1)
 	if gt := g.Broadcast(10, 0, 16); gt < 16 {
 		t.Fatalf("grid broadcast too fast: %d", gt)
 	}
 }
 
 func TestFreeMode(t *testing.T) {
-	r := NewRing(16, 1)
+	r := MustNewRing(16, 1)
 	r.SetFree(true)
 	if r.Send(42, 0, 8) != 42 {
 		t.Fatal("free ring not free")
@@ -184,7 +184,7 @@ func TestFreeMode(t *testing.T) {
 	if r.Broadcast(42, 0, 16) != 42 {
 		t.Fatal("free ring broadcast not free")
 	}
-	g := NewGrid(16, 1)
+	g := MustNewGrid(16, 1)
 	g.SetFree(true)
 	if g.Send(42, 0, 15) != 42 {
 		t.Fatal("free grid not free")
@@ -192,7 +192,7 @@ func TestFreeMode(t *testing.T) {
 }
 
 func TestStatsAccumulate(t *testing.T) {
-	r := NewRing(16, 1)
+	r := MustNewRing(16, 1)
 	r.Send(0, 0, 4)
 	r.Send(0, 0, 4)
 	s := r.Stats()
@@ -212,7 +212,7 @@ func TestStatsAccumulate(t *testing.T) {
 }
 
 func TestResetClearsReservations(t *testing.T) {
-	r := NewRing(16, 1)
+	r := MustNewRing(16, 1)
 	for i := 0; i < 100; i++ {
 		r.Send(0, 0, 1)
 	}
@@ -222,17 +222,26 @@ func TestResetClearsReservations(t *testing.T) {
 	}
 }
 
-func TestConstructorPanics(t *testing.T) {
+func TestConstructorErrors(t *testing.T) {
+	for _, f := range []func() error{
+		func() error { _, err := NewRing(0, 1); return err },
+		func() error { _, err := NewRing(4, 0); return err },
+		func() error { _, err := NewGrid(0, 1); return err },
+		func() error { _, err := NewGrid(4, 0); return err },
+	} {
+		if f() == nil {
+			t.Error("expected error for invalid topology parameters")
+		}
+	}
+	// The Must variants keep the old panic behaviour for static call sites.
 	for _, f := range []func(){
-		func() { NewRing(0, 1) },
-		func() { NewRing(4, 0) },
-		func() { NewGrid(0, 1) },
-		func() { NewGrid(4, 0) },
+		func() { MustNewRing(0, 1) },
+		func() { MustNewGrid(4, 0) },
 	} {
 		func() {
 			defer func() {
 				if recover() == nil {
-					t.Error("expected panic")
+					t.Error("expected panic from Must constructor")
 				}
 			}()
 			f()
@@ -241,11 +250,11 @@ func TestConstructorPanics(t *testing.T) {
 }
 
 func TestGridDimensions(t *testing.T) {
-	g := NewGrid(16, 1)
+	g := MustNewGrid(16, 1)
 	if g.w != 4 || g.h != 4 {
 		t.Fatalf("16-node grid laid out %dx%d, want 4x4", g.w, g.h)
 	}
-	g2 := NewGrid(2, 1)
+	g2 := MustNewGrid(2, 1)
 	if g2.Hops(0, 1) != 1 {
 		t.Fatal("2-node grid adjacency wrong")
 	}
@@ -253,7 +262,7 @@ func TestGridDimensions(t *testing.T) {
 
 func TestRingSmallSizes(t *testing.T) {
 	for n := 1; n <= 5; n++ {
-		r := NewRing(n, 1)
+		r := MustNewRing(n, 1)
 		for a := 0; a < n; a++ {
 			for b := 0; b < n; b++ {
 				arr := r.Send(0, a, b)
@@ -283,16 +292,16 @@ func TestReserveEvery(t *testing.T) {
 }
 
 func TestClustersAccessors(t *testing.T) {
-	if NewRing(7, 1).Clusters() != 7 {
+	if MustNewRing(7, 1).Clusters() != 7 {
 		t.Fatal("ring Clusters")
 	}
-	if NewGrid(9, 1).Clusters() != 9 {
+	if MustNewGrid(9, 1).Clusters() != 9 {
 		t.Fatal("grid Clusters")
 	}
 }
 
 func TestGridResetAndStats(t *testing.T) {
-	g := NewGrid(16, 1)
+	g := MustNewGrid(16, 1)
 	g.Send(10, 0, 5)
 	if g.Stats().Transfers != 1 {
 		t.Fatalf("stats %+v", g.Stats())
@@ -309,7 +318,7 @@ func TestGridResetAndStats(t *testing.T) {
 func TestRingBroadcastFromMiddleOfPrefix(t *testing.T) {
 	// A broadcast from a node with active peers on both sides exercises
 	// both ring directions.
-	r := NewRing(16, 1)
+	r := MustNewRing(16, 1)
 	got := r.Broadcast(10, 2, 6) // peers 0,1 (ccw) and 3,4,5 (cw)
 	if got < 12 || got > 14 {
 		t.Fatalf("two-sided broadcast arrival %d", got)
@@ -321,7 +330,7 @@ func TestRingBroadcastFromMiddleOfPrefix(t *testing.T) {
 }
 
 func TestGridFreeBroadcast(t *testing.T) {
-	g := NewGrid(16, 1)
+	g := MustNewGrid(16, 1)
 	g.SetFree(true)
 	if g.Broadcast(42, 3, 16) != 42 {
 		t.Fatal("free grid broadcast not free")
@@ -334,7 +343,7 @@ func TestGridFreeBroadcast(t *testing.T) {
 // which must still have links.
 func TestGridAllPairsAllSizes(t *testing.T) {
 	for n := 1; n <= 16; n++ {
-		g := NewGrid(n, 1)
+		g := MustNewGrid(n, 1)
 		for a := 0; a < n; a++ {
 			for b := 0; b < n; b++ {
 				arr := g.Send(0, a, b)

@@ -8,12 +8,12 @@ import (
 )
 
 func newCentralSys() (*central, interconnect.Network) {
-	net := interconnect.NewRing(16, 1)
+	net := interconnect.MustNewRing(16, 1)
 	return newCentral(DefaultCentralConfig(16), net), net
 }
 
 func newDistSys() (*dist, interconnect.Network) {
-	net := interconnect.NewRing(16, 1)
+	net := interconnect.MustNewRing(16, 1)
 	return newDist(DefaultDistConfig(16), net), net
 }
 
@@ -314,8 +314,8 @@ func TestMissMerging(t *testing.T) {
 
 func TestResetRestoresColdState(t *testing.T) {
 	for _, sys := range []System{
-		MustNew(DefaultCentralConfig(16), interconnect.NewRing(16, 1)),
-		MustNew(DefaultDistConfig(16), interconnect.NewRing(16, 1)),
+		MustNew(DefaultCentralConfig(16), interconnect.MustNewRing(16, 1)),
+		MustNew(DefaultDistConfig(16), interconnect.MustNewRing(16, 1)),
 	} {
 		sys.Load(0, 0, 0x1234*8)
 		sys.Reset()
@@ -330,7 +330,7 @@ func TestResetRestoresColdState(t *testing.T) {
 }
 
 func TestConfigValidation(t *testing.T) {
-	net := interconnect.NewRing(16, 1)
+	net := interconnect.MustNewRing(16, 1)
 	bad := DefaultCentralConfig(16)
 	bad.L1Banks = 3
 	if _, err := New(bad, net); err == nil {
@@ -462,5 +462,5 @@ func TestMustNewPanics(t *testing.T) {
 	}()
 	bad := DefaultCentralConfig(16)
 	bad.L1Size = 0
-	MustNew(bad, interconnect.NewRing(16, 1))
+	MustNew(bad, interconnect.MustNewRing(16, 1))
 }

@@ -1,0 +1,229 @@
+package mem
+
+import (
+	"sort"
+
+	"clustersim/internal/snap"
+)
+
+// Checkpoint support. Geometry (set counts, way counts, bank counts, line
+// shifts) is configuration and is rebuilt by the constructors; snapshots
+// carry only dynamic state — tag arrays, LRU stamps, port calendars, the L2
+// MSHR map, and statistics. The l2's stats pointer aliases the parent
+// organization's Stats and is re-wired by the constructor, never serialized.
+
+func (a *array) saveState(w *snap.Writer) {
+	w.Bools(a.valid)
+	w.Bools(a.dirty)
+	w.U64s(a.tags)
+	w.U32s(a.age)
+	w.U64(uint64(a.clock))
+}
+
+func (a *array) loadState(r *snap.Reader, what string) {
+	valid := r.Bools()
+	dirty := r.Bools()
+	tags := r.U64s()
+	age := r.U32s()
+	clock := uint32(r.U64())
+	if r.Err() != nil {
+		return
+	}
+	if len(valid) != len(a.valid) || len(dirty) != len(a.dirty) ||
+		len(tags) != len(a.tags) || len(age) != len(a.age) {
+		r.Failf("mem: %s has %d lines, snapshot holds %d", what, len(a.valid), len(valid))
+		return
+	}
+	copy(a.valid, valid)
+	copy(a.dirty, dirty)
+	copy(a.tags, tags)
+	copy(a.age, age)
+	a.clock = clock
+}
+
+// saveState writes the L2's dynamic state. The pendingMiss map is emitted as
+// key-sorted pairs so identical machine states produce identical bytes.
+func (c *l2) saveState(w *snap.Writer) {
+	w.Mark("l2")
+	c.arr.saveState(w)
+	w.U64s(c.bus)
+	w.U64s(c.memBus)
+	keys := make([]uint64, 0, len(c.pendingMiss))
+	for k := range c.pendingMiss {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	w.Int(len(keys))
+	for _, k := range keys {
+		w.U64(k)
+		w.U64(c.pendingMiss[k])
+	}
+}
+
+func (c *l2) loadState(r *snap.Reader) {
+	r.Mark("l2")
+	c.arr.loadState(r, "l2 array")
+	r.FixedU64s(c.bus, "l2 bus calendar")
+	r.FixedU64s(c.memBus, "l2 memory-bus calendar")
+	n := r.Int()
+	if r.Err() != nil {
+		return
+	}
+	if n < 0 || n > 1<<20 {
+		r.Failf("mem: implausible pendingMiss count %d", n)
+		return
+	}
+	c.pendingMiss = make(map[uint64]uint64, n)
+	for i := 0; i < n; i++ {
+		k := r.U64()
+		v := r.U64()
+		if r.Err() != nil {
+			return
+		}
+		c.pendingMiss[k] = v
+	}
+}
+
+func saveStats(w *snap.Writer, s *Stats) {
+	w.U64(s.Loads)
+	w.U64(s.Stores)
+	w.U64(s.L1Hits)
+	w.U64(s.L1Misses)
+	w.U64(s.L1Writebacks)
+	w.U64(s.L2Hits)
+	w.U64(s.L2Misses)
+	w.U64(s.L2MergedMisses)
+	w.U64(s.L2Writebacks)
+	w.U64(s.FlushWritebacks)
+	w.U64(s.Flushes)
+}
+
+func loadStats(r *snap.Reader, s *Stats) {
+	s.Loads = r.U64()
+	s.Stores = r.U64()
+	s.L1Hits = r.U64()
+	s.L1Misses = r.U64()
+	s.L1Writebacks = r.U64()
+	s.L2Hits = r.U64()
+	s.L2Misses = r.U64()
+	s.L2MergedMisses = r.U64()
+	s.L2Writebacks = r.U64()
+	s.FlushWritebacks = r.U64()
+	s.Flushes = r.U64()
+}
+
+// SaveState implements snap.Stater.
+func (c *central) SaveState(w *snap.Writer) {
+	w.Mark("mem-central")
+	c.arr.saveState(w)
+	c.l2.saveState(w)
+	w.Int(len(c.bankFree))
+	for _, cal := range c.bankFree {
+		w.U64s(cal)
+	}
+	saveStats(w, &c.stats)
+}
+
+// LoadState implements snap.Stater.
+func (c *central) LoadState(r *snap.Reader) {
+	r.Mark("mem-central")
+	c.arr.loadState(r, "l1 array")
+	c.l2.loadState(r)
+	if n := r.Int(); r.Err() == nil && n != len(c.bankFree) {
+		r.Failf("mem: centralized L1 has %d banks, snapshot holds %d", len(c.bankFree), n)
+		return
+	}
+	for i := range c.bankFree {
+		r.FixedU64s(c.bankFree[i], "l1 bank calendar")
+	}
+	loadStats(r, &c.stats)
+}
+
+// SaveState implements snap.Stater.
+func (d *dist) SaveState(w *snap.Writer) {
+	w.Mark("mem-dist")
+	w.Int(len(d.banks))
+	for _, b := range d.banks {
+		b.saveState(w)
+	}
+	d.l2.saveState(w)
+	w.Int(len(d.bankFree))
+	for _, cal := range d.bankFree {
+		w.U64s(cal)
+	}
+	w.Int(d.activeBanks)
+	saveStats(w, &d.stats)
+}
+
+// LoadState implements snap.Stater.
+func (d *dist) LoadState(r *snap.Reader) {
+	r.Mark("mem-dist")
+	if n := r.Int(); r.Err() == nil && n != len(d.banks) {
+		r.Failf("mem: decentralized L1 has %d banks, snapshot holds %d", len(d.banks), n)
+		return
+	}
+	for _, b := range d.banks {
+		b.loadState(r, "l1 bank array")
+	}
+	d.l2.loadState(r)
+	if n := r.Int(); r.Err() == nil && n != len(d.bankFree) {
+		r.Failf("mem: decentralized L1 has %d bank calendars, snapshot holds %d", len(d.bankFree), n)
+		return
+	}
+	for i := range d.bankFree {
+		r.FixedU64s(d.bankFree[i], "l1 bank calendar")
+	}
+	active := r.Int()
+	if r.Err() != nil {
+		return
+	}
+	if active < 1 || active > d.cfg.Clusters {
+		r.Failf("mem: snapshot activeBanks %d out of range [1,%d]", active, d.cfg.Clusters)
+		return
+	}
+	d.activeBanks = active
+	loadStats(r, &d.stats)
+}
+
+// SaveState implements snap.Stater.
+func (c *ICache) SaveState(w *snap.Writer) {
+	w.Mark("icache")
+	c.arr.saveState(w)
+	w.U64(c.hits)
+	w.U64(c.misses)
+}
+
+// LoadState implements snap.Stater.
+func (c *ICache) LoadState(r *snap.Reader) {
+	r.Mark("icache")
+	c.arr.loadState(r, "icache array")
+	c.hits = r.U64()
+	c.misses = r.U64()
+}
+
+// SaveState implements snap.Stater.
+func (t *TLB) SaveState(w *snap.Writer) {
+	w.Mark("tlb")
+	w.U64s(t.entries)
+	w.U64s(t.age)
+	w.U64(t.clock)
+	w.U64(t.hits)
+	w.U64(t.misses)
+}
+
+// LoadState implements snap.Stater.
+func (t *TLB) LoadState(r *snap.Reader) {
+	r.Mark("tlb")
+	r.FixedU64s(t.entries, "tlb entries")
+	r.FixedU64s(t.age, "tlb ages")
+	t.clock = r.U64()
+	t.hits = r.U64()
+	t.misses = r.U64()
+}
+
+var (
+	_ snap.Stater = (*central)(nil)
+	_ snap.Stater = (*dist)(nil)
+	_ snap.Stater = (*ICache)(nil)
+	_ snap.Stater = (*TLB)(nil)
+)

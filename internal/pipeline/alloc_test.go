@@ -25,9 +25,9 @@ func TestSteadyStateAllocBudget(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		p.Run(50_000) // reach steady state: scratch slices at working size
+		mustRun(t, p, 50_000) // reach steady state: scratch slices at working size
 		avg := testing.AllocsPerRun(10, func() {
-			p.Run(10_000)
+			mustRun(t, p, 10_000)
 		})
 		// Budget of 8 allocs per 10K instructions = 1600x headroom over
 		// the pre-fix behavior while still tolerating rare slice regrows.

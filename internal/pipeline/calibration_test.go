@@ -33,12 +33,12 @@ func TestCalibrationSweep(t *testing.T) {
 			cfg := DefaultConfig()
 			cfg.ActiveClusters = n
 			p := MustNew(cfg, workload.MustNew(name, 1), nil)
-			return p.Run(w).IPC()
+			return mustRun(t, p, w).IPC()
 		}
 		i4, i16 := ipcAt(4), ipcAt(16)
 
 		pm := MustNew(MonolithicConfig(), workload.MustNew(name, 1), nil)
-		rm := pm.Run(w)
+		rm := mustRun(t, pm, w)
 		t.Logf("%-8s 4:%.2f 16:%.2f mono:%.2f(want %.2f) mi:%.0f(want %.0f)",
 			name, i4, i16, rm.IPC(), pd.BaseIPC, rm.MispredictInterval(), pd.MispredictInterval)
 

@@ -18,6 +18,7 @@ package pipeline
 
 import (
 	"fmt"
+	"hash/fnv"
 
 	"clustersim/internal/bpred"
 	"clustersim/internal/mem"
@@ -151,6 +152,12 @@ type Config struct {
 	BranchPred *bpred.Config
 	BankPred   *bpred.BankConfig
 
+	// WatchdogCycles is how many cycles may elapse without a commit before
+	// Run/RunCycles give up and return a *DeadlockError. Zero selects the
+	// default (500_000). Raising it is only useful for configurations with
+	// deliberately extreme memory latencies.
+	WatchdogCycles uint64
+
 	// Observer attaches the observability layer (metrics registry, trace
 	// sinks and cycle-sampled probes) to the processor and, when the
 	// Controller supports it, to the controller's decision reporting.
@@ -250,6 +257,32 @@ func (c Config) Validate() error {
 		return fmt.Errorf("pipeline: ImbalanceThreshold must be positive")
 	}
 	return nil
+}
+
+// Fingerprint returns a hash of every timing-relevant configuration field.
+// Snapshots embed it so a checkpoint cannot be restored into a processor
+// built from a different configuration (which would silently produce wrong
+// results). Observer and Checker attachments are excluded: they do not
+// influence timing and are never part of a checkpointed run.
+func (c Config) Fingerprint() uint64 {
+	h := fnv.New64a()
+	cc := c
+	cc.CacheConfig = nil
+	cc.BranchPred = nil
+	cc.BankPred = nil
+	cc.Observer = nil
+	cc.Checker = nil
+	fmt.Fprintf(h, "%+v", cc)
+	if c.CacheConfig != nil {
+		fmt.Fprintf(h, "|cache:%+v", *c.CacheConfig)
+	}
+	if c.BranchPred != nil {
+		fmt.Fprintf(h, "|bpred:%+v", *c.BranchPred)
+	}
+	if c.BankPred != nil {
+		fmt.Fprintf(h, "|bank:%+v", *c.BankPred)
+	}
+	return h.Sum64()
 }
 
 // CommitEvent describes one committed instruction to a Controller.

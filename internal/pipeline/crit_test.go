@@ -34,7 +34,7 @@ func TestCritTableRunsAndLearns(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.CritTable = true
 	p := MustNew(cfg, workload.MustNew("galgel", 1), nil)
-	r := p.Run(50_000)
+	r := mustRun(t, p, 50_000)
 	if r.IPC() <= 0 {
 		t.Fatal("crit-table machine made no progress")
 	}
@@ -60,7 +60,7 @@ func TestCritTableComparableToHeuristic(t *testing.T) {
 		cfg := DefaultConfig()
 		cfg.CritTable = table
 		p := MustNew(cfg, workload.MustNew("swim", 1), nil)
-		return p.Run(60_000).IPC()
+		return mustRun(t, p, 60_000).IPC()
 	}
 	h, tb := ipc(false), ipc(true)
 	if tb < h*0.9 || tb > h*1.1 {

@@ -1,0 +1,49 @@
+package pipeline
+
+import "fmt"
+
+// DeadlockError is returned by Run and RunCycles when the watchdog detects
+// that no instruction has committed for Config.WatchdogCycles cycles. It
+// carries a dump of the machine's head/tail/fetch state so the failure
+// manifest can record where the pipeline wedged without a debugger attached.
+type DeadlockError struct {
+	// Cycle is the cycle at which the watchdog fired; Committed is the
+	// total committed-instruction count at that point.
+	Cycle     uint64
+	Committed uint64
+	// LastCommitCycle is the cycle of the most recent commit.
+	LastCommitCycle uint64
+	// HeadSeq, TailSeq and FetchSeq are the ROB head, ROB tail and fetch
+	// sequence numbers.
+	HeadSeq, TailSeq, FetchSeq uint64
+	// FetchBlockedSeq is the seq of the unresolved control transfer
+	// blocking fetch, or ^0 when fetch is not blocked.
+	FetchBlockedSeq uint64
+	// Draining reports whether a decentralized reconfiguration drain was
+	// in progress; Active is the active-cluster count.
+	Draining bool
+	Active   int
+}
+
+// Error implements error.
+func (e *DeadlockError) Error() string {
+	return fmt.Sprintf(
+		"pipeline: no commit in %d cycles at cycle %d (committed=%d head=%d tail=%d fetch=%d blocked=%d draining=%t active=%d)",
+		e.Cycle-e.LastCommitCycle, e.Cycle, e.Committed,
+		e.HeadSeq, e.TailSeq, e.FetchSeq, e.FetchBlockedSeq, e.Draining, e.Active)
+}
+
+// StoppedError is returned by Run and RunCycles when an external stop flag
+// (SetStopFlag) was raised before the run target was reached. The runner uses
+// it to implement per-run wall-clock timeouts; it is a transient condition —
+// the same request may succeed when retried with a longer budget.
+type StoppedError struct {
+	// Cycle and Committed record where the run stopped.
+	Cycle     uint64
+	Committed uint64
+}
+
+// Error implements error.
+func (e *StoppedError) Error() string {
+	return fmt.Sprintf("pipeline: run stopped by external flag at cycle %d (committed=%d)", e.Cycle, e.Committed)
+}

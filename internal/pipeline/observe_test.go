@@ -41,7 +41,7 @@ func TestObserverCountersMatchResult(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.Observer = ob
 	p := MustNew(cfg, workload.MustNew("gzip", 1), &stepCtrl{})
-	res := p.Run(60_000)
+	res := mustRun(t, p, 60_000)
 
 	snap := ob.Registry.Snapshot()
 	for name, want := range map[string]uint64{
@@ -123,7 +123,7 @@ func TestDisabledObserverIsIgnored(t *testing.T) {
 	if p.obs != nil {
 		t.Fatal("disabled observer retained")
 	}
-	p.Run(5_000)
+	mustRun(t, p, 5_000)
 }
 
 func TestResultDerivedMetrics(t *testing.T) {
@@ -164,7 +164,7 @@ func benchSteps(b *testing.B, ob *obs.Observer) {
 	p := MustNew(cfg, workload.MustNew("gzip", 1), nil)
 	b.ReportAllocs()
 	b.ResetTimer()
-	p.Run(uint64(b.N))
+	mustRun(b, p, uint64(b.N))
 }
 
 // TestSnapshotResultEquivalence: every counter the observer exports must
@@ -180,7 +180,7 @@ func TestSnapshotResultEquivalence(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	p.Run(20_000)
+	mustRun(t, p, 20_000)
 	res := p.Stats() // syncs registry counters to the cumulative totals
 	snap := reg.Snapshot()
 

@@ -47,7 +47,7 @@ func TestNewRejectsNilGenerator(t *testing.T) {
 
 func TestRunProgress(t *testing.T) {
 	p := MustNew(testConfig(), workload.MustNew("gzip", 1), nil)
-	r := p.Run(20_000)
+	r := mustRun(t, p, 20_000)
 	if r.Instructions < 20_000 {
 		t.Fatalf("committed %d < requested", r.Instructions)
 	}
@@ -55,7 +55,7 @@ func TestRunProgress(t *testing.T) {
 		t.Fatalf("no progress: %+v", r)
 	}
 	// Run extends cumulatively.
-	r2 := p.Run(10_000)
+	r2 := mustRun(t, p, 10_000)
 	if r2.Instructions < 30_000 || r2.Cycles <= r.Cycles {
 		t.Fatalf("second Run did not extend: %d instrs %d cycles", r2.Instructions, r2.Cycles)
 	}
@@ -64,7 +64,7 @@ func TestRunProgress(t *testing.T) {
 func TestDeterministicRuns(t *testing.T) {
 	run := func() Result {
 		p := MustNew(testConfig(), workload.MustNew("crafty", 9), nil)
-		return p.Run(30_000)
+		return mustRun(t, p, 30_000)
 	}
 	a, b := run(), run()
 	if a != b {
@@ -75,7 +75,7 @@ func TestDeterministicRuns(t *testing.T) {
 func TestIPCWithinMachineBounds(t *testing.T) {
 	for _, name := range []string{"gzip", "swim"} {
 		p := MustNew(testConfig(), workload.MustNew(name, 1), nil)
-		r := p.Run(50_000)
+		r := mustRun(t, p, 50_000)
 		if ipc := r.IPC(); ipc <= 0 || ipc > float64(p.Config().CommitWidth) {
 			t.Errorf("%s: IPC %f outside (0, commit width]", name, ipc)
 		}
@@ -87,9 +87,9 @@ func TestMonolithicBeatsClustered(t *testing.T) {
 	// no communication costs: it must be at least as fast.
 	for _, name := range []string{"swim", "vpr"} {
 		pm := MustNew(MonolithicConfig(), workload.MustNew(name, 1), nil)
-		rm := pm.Run(60_000)
+		rm := mustRun(t, pm, 60_000)
 		pc := MustNew(testConfig(), workload.MustNew(name, 1), nil)
-		rc := pc.Run(60_000)
+		rc := mustRun(t, pc, 60_000)
 		if rm.IPC() < rc.IPC()*0.98 {
 			t.Errorf("%s: monolithic %.3f < clustered %.3f", name, rm.IPC(), rc.IPC())
 		}
@@ -100,7 +100,7 @@ func TestActiveClustersBoundSteering(t *testing.T) {
 	cfg := testConfig()
 	cfg.ActiveClusters = 4
 	p := MustNew(cfg, workload.MustNew("swim", 1), nil)
-	p.Run(20_000)
+	mustRun(t, p, 20_000)
 	for c := 4; c < cfg.Clusters; c++ {
 		cs := &p.clusters[c]
 		if cs.occupancy() != 0 || cs.intRegs != 0 || cs.fpRegs != 0 {
@@ -115,7 +115,7 @@ func TestFewerClustersSlowerForILP(t *testing.T) {
 		cfg := testConfig()
 		cfg.ActiveClusters = n
 		p := MustNew(cfg, workload.MustNew("swim", 1), nil)
-		return p.Run(60_000).IPC()
+		return mustRun(t, p, 60_000).IPC()
 	}
 	if i2, i16 := ipc(2), ipc(16); i2 >= i16 {
 		t.Fatalf("2 clusters (%.3f) not slower than 16 (%.3f) for swim", i2, i16)
@@ -125,12 +125,12 @@ func TestFewerClustersSlowerForILP(t *testing.T) {
 func TestCommunicationAblationsHelp(t *testing.T) {
 	base := testConfig()
 	pb := MustNew(base, workload.MustNew("swim", 1), nil)
-	rb := pb.Run(60_000)
+	rb := mustRun(t, pb, 60_000)
 
 	fr := base
 	fr.FreeRegComm = true
 	pf := MustNew(fr, workload.MustNew("swim", 1), nil)
-	rf := pf.Run(60_000)
+	rf := mustRun(t, pf, 60_000)
 	if rf.IPC() <= rb.IPC() {
 		t.Errorf("free register communication did not help: %.3f vs %.3f", rf.IPC(), rb.IPC())
 	}
@@ -141,7 +141,7 @@ func TestCommunicationAblationsHelp(t *testing.T) {
 	fl := base
 	fl.FreeLoadComm = true
 	pl := MustNew(fl, workload.MustNew("swim", 1), nil)
-	rl := pl.Run(60_000)
+	rl := mustRun(t, pl, 60_000)
 	if rl.IPC() <= rb.IPC() {
 		t.Errorf("free load communication did not help: %.3f vs %.3f", rl.IPC(), rb.IPC())
 	}
@@ -155,7 +155,7 @@ func TestGridReducesCommunicationCost(t *testing.T) {
 		cfg := testConfig()
 		cfg.Topology = topo
 		p := MustNew(cfg, workload.MustNew("djpeg", 1), nil)
-		return p.Run(100_000)
+		return mustRun(t, p, 100_000)
 	}
 	ring, grid := run(RingTopology), run(GridTopology)
 	ringHops := float64(ring.Net.Hops) / float64(ring.Net.Transfers)
@@ -173,7 +173,7 @@ func TestSteeringPoliciesRun(t *testing.T) {
 		cfg := testConfig()
 		cfg.Steering = pol
 		p := MustNew(cfg, workload.MustNew("gzip", 1), nil)
-		r := p.Run(20_000)
+		r := mustRun(t, p, 20_000)
 		if r.IPC() <= 0 {
 			t.Errorf("steering policy %d made no progress", pol)
 		}
@@ -188,7 +188,7 @@ func TestFirstFitCommunicatesLessThanModN(t *testing.T) {
 		cfg := testConfig()
 		cfg.Steering = pol
 		p := MustNew(cfg, workload.MustNew("vpr", 1), nil)
-		r := p.Run(40_000)
+		r := mustRun(t, p, 40_000)
 		return float64(r.RegTransfers) / float64(r.Instructions)
 	}
 	ff, mn := xfers(SteerFirstFit), xfers(SteerModN)
@@ -201,7 +201,7 @@ func TestDecentralizedRuns(t *testing.T) {
 	cfg := testConfig()
 	cfg.Cache = DecentralizedCache
 	p := MustNew(cfg, workload.MustNew("gzip", 1), nil)
-	r := p.Run(30_000)
+	r := mustRun(t, p, 30_000)
 	if r.IPC() <= 0 {
 		t.Fatal("decentralized model made no progress")
 	}
@@ -218,7 +218,7 @@ func TestDecentralizedReconfigurationFlushes(t *testing.T) {
 	cfg.Cache = DecentralizedCache
 	ctrl := &flipController{period: 5_000, a: 16, b: 4}
 	p := MustNew(cfg, workload.MustNew("gzip", 1), ctrl)
-	r := p.Run(40_000)
+	r := mustRun(t, p, 40_000)
 	if r.Reconfigs == 0 {
 		t.Fatal("no reconfigurations applied")
 	}
@@ -233,7 +233,7 @@ func TestDecentralizedReconfigurationFlushes(t *testing.T) {
 func TestCentralizedReconfigurationImmediate(t *testing.T) {
 	ctrl := &flipController{period: 2_000, a: 16, b: 2}
 	p := MustNew(testConfig(), workload.MustNew("gzip", 1), ctrl)
-	r := p.Run(30_000)
+	r := mustRun(t, p, 30_000)
 	if r.Reconfigs < 10 {
 		t.Fatalf("expected frequent reconfigs, got %d", r.Reconfigs)
 	}
@@ -268,10 +268,10 @@ func TestPerfectBankPredictionHelps(t *testing.T) {
 	cfg := testConfig()
 	cfg.Cache = DecentralizedCache
 	pb := MustNew(cfg, workload.MustNew("swim", 1), nil)
-	rb := pb.Run(50_000)
+	rb := mustRun(t, pb, 50_000)
 	cfg.PerfectBankPred = true
 	pp := MustNew(cfg, workload.MustNew("swim", 1), nil)
-	rp := pp.Run(50_000)
+	rp := mustRun(t, pp, 50_000)
 	if rp.IPC() < rb.IPC()*0.98 {
 		t.Fatalf("oracle banks (%.3f) worse than predicted (%.3f)", rp.IPC(), rb.IPC())
 	}
@@ -282,7 +282,7 @@ func TestPerfectBankPredictionHelps(t *testing.T) {
 
 func TestDistantBitsConsistent(t *testing.T) {
 	p := MustNew(testConfig(), workload.MustNew("swim", 1), nil)
-	r := p.Run(50_000)
+	r := mustRun(t, p, 50_000)
 	if r.DistantIssued == 0 {
 		t.Fatal("swim produced no distant ILP at 16 clusters")
 	}
@@ -293,7 +293,7 @@ func TestDistantBitsConsistent(t *testing.T) {
 
 func TestRedirectsMatchPredictorMispredicts(t *testing.T) {
 	p := MustNew(testConfig(), workload.MustNew("vpr", 1), nil)
-	r := p.Run(50_000)
+	r := mustRun(t, p, 50_000)
 	// Every front-end mispredict stalls fetch and is counted at commit;
 	// in-flight ones at the end explain any small difference.
 	diff := int64(r.Branch.Mispredicts) - int64(r.Redirects)
@@ -326,7 +326,7 @@ func TestResultHelpers(t *testing.T) {
 func TestROBNeverExceedsCapacity(t *testing.T) {
 	p := MustNew(testConfig(), workload.MustNew("swim", 1), nil)
 	for i := 0; i < 50; i++ {
-		p.Run(1000)
+		mustRun(t, p, 1000)
 		if occ := p.tailSeq - p.headSeq; occ > uint64(p.cfg.ROB) {
 			t.Fatalf("ROB occupancy %d exceeds %d", occ, p.cfg.ROB)
 		}
@@ -350,7 +350,7 @@ func TestHopLatencySlowsCommunication(t *testing.T) {
 		cfg := testConfig()
 		cfg.HopLatency = hop
 		p := MustNew(cfg, workload.MustNew("swim", 1), nil)
-		return p.Run(50_000).IPC()
+		return mustRun(t, p, 50_000).IPC()
 	}
 	if one, two := ipc(1), ipc(2); two >= one {
 		t.Fatalf("doubled hop latency did not slow the machine: %.3f vs %.3f", two, one)
@@ -375,7 +375,7 @@ func TestStoreLoadForwardingOccurs(t *testing.T) {
 	// gzip writes and re-reads its small output window; forwarding must
 	// happen at least occasionally.
 	p := MustNew(testConfig(), workload.MustNew("gzip", 2), nil)
-	r := p.Run(900_000)
+	r := mustRun(t, p, 900_000)
 	if r.LoadForwards == 0 {
 		t.Fatal("no store-to-load forwarding in 900K instructions")
 	}
@@ -383,7 +383,7 @@ func TestStoreLoadForwardingOccurs(t *testing.T) {
 
 func TestICacheAndTLBDefaultsOn(t *testing.T) {
 	p := MustNew(testConfig(), workload.MustNew("crafty", 1), nil)
-	r := p.Run(60_000)
+	r := mustRun(t, p, 60_000)
 	if r.ICacheMisses == 0 {
 		t.Error("no instruction-cache misses recorded (cold start must miss)")
 	}
@@ -397,13 +397,13 @@ func TestICacheAndTLBCanBeDisabled(t *testing.T) {
 	cfg.ICacheEnabled = false
 	cfg.TLBEnabled = false
 	p := MustNew(cfg, workload.MustNew("gzip", 1), nil)
-	r := p.Run(20_000)
+	r := mustRun(t, p, 20_000)
 	if r.ICacheMisses != 0 || r.TLBMisses != 0 {
 		t.Fatalf("disabled structures recorded misses: %d / %d", r.ICacheMisses, r.TLBMisses)
 	}
 	// Disabling the front-end/TLB overheads can only help.
 	p2 := MustNew(testConfig(), workload.MustNew("gzip", 1), nil)
-	r2 := p2.Run(20_000)
+	r2 := mustRun(t, p2, 20_000)
 	if r.IPC() < r2.IPC()*0.98 {
 		t.Fatalf("disabling icache/TLB slowed the machine: %.3f vs %.3f", r.IPC(), r2.IPC())
 	}
@@ -427,7 +427,7 @@ func (w *wildController) OnCommit(ev CommitEvent) int {
 
 func TestRequestActiveClamps(t *testing.T) {
 	p := MustNew(testConfig(), workload.MustNew("gzip", 1), &wildController{})
-	p.Run(5_000)
+	mustRun(t, p, 5_000)
 	if a := p.ActiveClusters(); a < 1 || a > 16 {
 		t.Fatalf("active clusters %d escaped [1,16]", a)
 	}
@@ -438,7 +438,7 @@ func TestModNRotatesClusters(t *testing.T) {
 	cfg.Steering = SteerModN
 	cfg.ModN = 2
 	p := MustNew(cfg, workload.MustNew("swim", 1), nil)
-	p.Run(20_000)
+	mustRun(t, p, 20_000)
 	// Mod_2 must have used many clusters for a high-throughput program.
 	used := 0
 	for c := range p.clusters {
@@ -449,4 +449,15 @@ func TestModNRotatesClusters(t *testing.T) {
 	if used < 8 {
 		t.Fatalf("Mod_2 used only %d clusters", used)
 	}
+}
+
+// mustRun advances p by n committed instructions, failing the test on any
+// run error (deadlock or external stop).
+func mustRun(tb testing.TB, p *Processor, n uint64) Result {
+	tb.Helper()
+	res, err := p.Run(n)
+	if err != nil {
+		tb.Fatalf("Run: %v", err)
+	}
+	return res
 }

@@ -2,6 +2,7 @@ package pipeline
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"clustersim/internal/bpred"
 	"clustersim/internal/interconnect"
@@ -65,6 +66,12 @@ type Processor struct {
 	lastCommitCycle uint64
 	stats           Result
 
+	// stop, when non-nil, is polled every stopCheckMask+1 cycles by Run and
+	// RunCycles; raising it makes the run return a *StoppedError. The
+	// runner uses it to enforce wall-clock timeouts without killing the
+	// process.
+	stop *atomic.Bool
+
 	// Observability. obs is nil when disabled, making every hook a single
 	// pointer test; nextSample is the next probe cycle (noSample when
 	// sampling is off).
@@ -90,11 +97,15 @@ func New(cfg Config, gen workload.Generator, ctrl Controller) (*Processor, error
 	}
 	p := &Processor{cfg: cfg, gen: gen, ctrl: ctrl}
 
+	var err error
 	switch cfg.Topology {
 	case GridTopology:
-		p.net = interconnect.NewGrid(cfg.Clusters, cfg.HopLatency)
+		p.net, err = interconnect.NewGrid(cfg.Clusters, cfg.HopLatency)
 	default:
-		p.net = interconnect.NewRing(cfg.Clusters, cfg.HopLatency)
+		p.net, err = interconnect.NewRing(cfg.Clusters, cfg.HopLatency)
+	}
+	if err != nil {
+		return nil, err
 	}
 
 	mcfg := mem.DefaultCentralConfig(cfg.Clusters)
@@ -206,25 +217,76 @@ func (p *Processor) Committed() uint64 { return p.committed }
 // at returns the ROB entry for an in-flight seq.
 func (p *Processor) at(seq uint64) *uop { return &p.rob[seq&p.robMask] }
 
+// stopCheckMask throttles the external-stop-flag poll to one atomic load
+// every 1024 cycles, keeping it invisible in the hot loop.
+const stopCheckMask = 1023
+
+// SetStopFlag installs an externally owned stop flag. When flag is raised,
+// the current (or next) Run/RunCycles call returns a *StoppedError at the
+// next poll point. Pass nil to detach. The flag is the only Processor state
+// that may be touched from another goroutine.
+func (p *Processor) SetStopFlag(flag *atomic.Bool) { p.stop = flag }
+
+// watchdogLimit returns the no-commit cycle budget before a deadlock is
+// declared.
+func (p *Processor) watchdogLimit() uint64 {
+	if p.cfg.WatchdogCycles > 0 {
+		return p.cfg.WatchdogCycles
+	}
+	return 500_000
+}
+
+// deadlockError captures the machine's position for a watchdog failure.
+func (p *Processor) deadlockError() *DeadlockError {
+	return &DeadlockError{
+		Cycle:           p.cycle,
+		Committed:       p.committed,
+		LastCommitCycle: p.lastCommitCycle,
+		HeadSeq:         p.headSeq,
+		TailSeq:         p.tailSeq,
+		FetchSeq:        p.fetchSeq,
+		FetchBlockedSeq: p.fetchBlockedSeq,
+		Draining:        p.draining,
+		Active:          p.active,
+	}
+}
+
 // Run simulates until n more instructions commit and returns cumulative
-// statistics. It may be called repeatedly to extend a run.
-func (p *Processor) Run(n uint64) Result {
+// statistics. It may be called repeatedly to extend a run. A wedged pipeline
+// surfaces as a *DeadlockError (with the statistics accumulated so far); an
+// externally raised stop flag surfaces as a *StoppedError.
+func (p *Processor) Run(n uint64) (Result, error) {
 	target := p.committed + n
+	limit := p.watchdogLimit()
 	for p.committed < target {
 		p.step()
+		if p.cycle-p.lastCommitCycle > limit {
+			return p.Stats(), p.deadlockError()
+		}
+		if p.stop != nil && p.cycle&stopCheckMask == 0 && p.stop.Load() {
+			return p.Stats(), &StoppedError{Cycle: p.cycle, Committed: p.committed}
+		}
 	}
-	return p.Stats()
+	return p.Stats(), nil
 }
 
 // RunCycles simulates exactly n more cycles (regardless of commits) and
 // returns cumulative statistics. Multi-threaded studies use this to advance
-// co-scheduled machines in lockstep time slices.
-func (p *Processor) RunCycles(n uint64) Result {
+// co-scheduled machines in lockstep time slices. Deadlock and external stops
+// are reported like Run's.
+func (p *Processor) RunCycles(n uint64) (Result, error) {
 	target := p.cycle + n
+	limit := p.watchdogLimit()
 	for p.cycle < target {
 		p.step()
+		if p.cycle-p.lastCommitCycle > limit {
+			return p.Stats(), p.deadlockError()
+		}
+		if p.stop != nil && p.cycle&stopCheckMask == 0 && p.stop.Load() {
+			return p.Stats(), &StoppedError{Cycle: p.cycle, Committed: p.committed}
+		}
 	}
-	return p.Stats()
+	return p.Stats(), nil
 }
 
 // step advances the machine by one cycle.
@@ -242,10 +304,6 @@ func (p *Processor) step() {
 	}
 	if p.chk != nil {
 		p.checkCycle()
-	}
-	if p.cycle-p.lastCommitCycle > 500_000 {
-		panic(fmt.Sprintf("pipeline: no commit in 500K cycles at cycle %d (head=%d tail=%d fetch=%d blocked=%d draining=%t)",
-			p.cycle, p.headSeq, p.tailSeq, p.fetchSeq, p.fetchBlockedSeq, p.draining))
 	}
 }
 

@@ -121,3 +121,24 @@ func (r *Source) Geometric(m float64) int {
 func (r *Source) Fork() *Source {
 	return New(r.Uint64() ^ 0xa5a5a5a5deadbeef)
 }
+
+// State returns the generator's internal state, for checkpointing.
+func (r *Source) State() [4]uint64 { return r.s }
+
+// SetState restores a state previously returned by State. It rejects the
+// all-zero state, which xoshiro cannot escape.
+func (r *Source) SetState(s [4]uint64) error {
+	if s[0]|s[1]|s[2]|s[3] == 0 {
+		return errZeroState
+	}
+	r.s = s
+	return nil
+}
+
+// errZeroState is returned by SetState for the invalid all-zero state.
+var errZeroState = errorString("rng: all-zero state is not a valid xoshiro state")
+
+// errorString is a dependency-free constant error type.
+type errorString string
+
+func (e errorString) Error() string { return string(e) }

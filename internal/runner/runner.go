@@ -24,11 +24,18 @@
 package runner
 
 import (
+	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/fnv"
+	"io"
+	"os"
 	"runtime"
+	"runtime/debug"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"clustersim/internal/obs"
 	"clustersim/internal/pipeline"
@@ -84,12 +91,36 @@ func (q *Request) cacheable() bool {
 	return !q.NoCache && q.Config.Observer == nil && q.Config.Checker == nil && q.PostRun == nil
 }
 
+// hashField writes one length-prefixed field into the fingerprint hash.
+// Length-prefixing (rather than joining fields with a separator byte) makes
+// the encoding injective: no choice of field contents can shift bytes across
+// a field boundary, so ("ab", "c") can never alias ("a", "bc") — nor can a
+// field containing the separator character alias a pair of fields.
+func hashField(h io.Writer, field string) {
+	var n [8]byte
+	binary.LittleEndian.PutUint64(n[:], uint64(len(field)))
+	h.Write(n[:])
+	io.WriteString(h, field)
+}
+
 // key fingerprints the request: benchmark, seed, window, policy identity and
 // the full configuration (pointer sub-configs dereferenced, observer
 // excluded). Two requests with equal keys produce identical Results.
+//
+// Every variable-length component is hashed as its own length-prefixed field
+// — including the controller name and PolicyKey separately, since their
+// "name|policyKey" join is itself ambiguous.
 func (q *Request) key() uint64 {
 	h := fnv.New64a()
-	fmt.Fprintf(h, "%s|%d|%d|%s|", q.Bench, q.Seed, q.Window, q.policy())
+	hashField(h, q.Bench)
+	hashField(h, fmt.Sprintf("%d", q.Seed))
+	hashField(h, fmt.Sprintf("%d", q.Window))
+	ctrlName := ""
+	if q.Controller != nil {
+		ctrlName = q.Controller.Name()
+	}
+	hashField(h, ctrlName)
+	hashField(h, q.PolicyKey)
 	c := q.Config
 	cacheCfg := c.CacheConfig
 	branchCfg := c.BranchPred
@@ -120,16 +151,71 @@ func (q *Request) key() uint64 {
 	return h.Sum64()
 }
 
-// RunError describes one failed run.
+// RunError describes one failed run. It serializes into the sweep's failure
+// manifest, so every field a post-mortem needs is carried explicitly rather
+// than hidden inside the wrapped error.
 type RunError struct {
-	ID     string
-	Bench  string
-	Policy string
-	Err    error
+	ID     string `json:"id"`
+	Bench  string `json:"bench"`
+	Policy string `json:"policy"`
+	// Key is the request fingerprint in the same 16-hex-digit form that
+	// names checkpoint and persisted-result files ("" for uncacheable
+	// requests, whose keys are not computed).
+	Key string `json:"key,omitempty"`
+	// Message is the failure's one-line description; Dump carries the
+	// machine-state dump (deadlocks) or stack trace (panics), if any.
+	Message string `json:"message"`
+	Dump    string `json:"dump,omitempty"`
+	// Transient marks failures worth retrying (wall-clock timeouts);
+	// Attempts is how many executions were made before giving up.
+	Transient bool `json:"transient,omitempty"`
+	Attempts  int  `json:"attempts"`
+	// Err is the underlying error (nil after a manifest round-trip).
+	Err error `json:"-"`
 }
 
 func (e RunError) Error() string {
-	return fmt.Sprintf("%s/%s/%s: %v", e.ID, e.Bench, e.Policy, e.Err)
+	msg := e.Message
+	if msg == "" && e.Err != nil {
+		msg = e.Err.Error()
+	}
+	return fmt.Sprintf("%s/%s/%s: %s", e.ID, e.Bench, e.Policy, msg)
+}
+
+// Unwrap exposes the underlying error to errors.Is/As.
+func (e RunError) Unwrap() error { return e.Err }
+
+// panicError preserves a recovered panic value with the stack at the point of
+// recovery, so the failure manifest can show where a run blew up.
+type panicError struct {
+	value any
+	stack []byte
+}
+
+func (e *panicError) Error() string { return fmt.Sprintf("run panicked: %v", e.value) }
+
+// describe classifies an execution error for the failure manifest: a one-line
+// message, an optional state/stack dump, and whether retrying could help.
+func describe(err error) (msg, dump string, transient bool) {
+	msg = err.Error()
+	var pe *panicError
+	var de *pipeline.DeadlockError
+	var se *pipeline.StoppedError
+	switch {
+	case errors.As(err, &pe):
+		dump = string(pe.stack)
+	case errors.As(err, &de):
+		dump = fmt.Sprintf(
+			"cycle=%d committed=%d lastCommitCycle=%d headSeq=%d tailSeq=%d fetchSeq=%d fetchBlockedSeq=%#x draining=%t active=%d",
+			de.Cycle, de.Committed, de.LastCommitCycle, de.HeadSeq, de.TailSeq,
+			de.FetchSeq, de.FetchBlockedSeq, de.Draining, de.Active)
+	case errors.As(err, &se):
+		// A stop raised by the per-run timeout: the run was healthy, just
+		// slow. With checkpointing on, a retry resumes from the last
+		// snapshot instead of starting over.
+		transient = true
+	}
+	return msg, dump, transient
 }
 
 // SweepError aggregates every failed run of a sweep.
@@ -165,6 +251,29 @@ type Runner struct {
 	Workers int
 	// DisableCache turns the run cache off (every request executes).
 	DisableCache bool
+
+	// Timeout bounds each run attempt's wall-clock time; zero means no
+	// limit. A timed-out attempt returns a transient RunError.
+	Timeout time.Duration
+	// Retries is how many extra attempts a transient failure gets (0 =
+	// fail on the first). Permanent failures (panics, deadlocks, invalid
+	// requests) never retry.
+	Retries int
+	// Backoff is the delay before the first retry, doubling per attempt;
+	// zero selects 100ms.
+	Backoff time.Duration
+
+	// CheckpointDir enables crash-safe sweeps. Cacheable requests whose
+	// processor supports snapshotting write a checkpoint every
+	// CheckpointEvery committed instructions (atomically, tmp+rename) to
+	// <dir>/<key>.snap, resume from an existing snapshot on start, and on
+	// success delete the snapshot and persist their Result to
+	// <dir>/results/<key>.json for LoadPersisted. Empty disables all of it.
+	CheckpointDir string
+	// CheckpointEvery is the commit-count cadence between snapshots; zero
+	// disables intermediate checkpoints (a run still resumes from and
+	// cleans up snapshots left by an earlier process).
+	CheckpointEvery uint64
 
 	mu      sync.Mutex
 	cache   map[uint64]pipeline.Result
@@ -223,9 +332,14 @@ func (r *Runner) store(key uint64, res pipeline.Result) {
 // execution order; the returned error, if any, is a *SweepError aggregating
 // every failed run (successful runs still have valid Results).
 func (r *Runner) RunAll(reqs []Request) ([]pipeline.Result, error) {
+	if r.CheckpointDir != "" {
+		// Best-effort: if the directory cannot be made, runs proceed
+		// unprotected (their snapshot writes fail and disable themselves).
+		os.MkdirAll(r.CheckpointDir, 0o755)
+	}
 	n := len(reqs)
 	results := make([]pipeline.Result, n)
-	errs := make([]error, n)
+	errs := make([]*RunError, n)
 	keys := make([]uint64, n)
 	dupOf := make([]int, n)
 
@@ -237,12 +351,17 @@ func (r *Runner) RunAll(reqs []Request) ([]pipeline.Result, error) {
 	for i := range reqs {
 		dupOf[i] = -1
 		q := &reqs[i]
+		if q.cacheable() {
+			// Computed even with the cache disabled: the fingerprint
+			// also names the run's checkpoint and persisted-result
+			// files.
+			keys[i] = q.key()
+		}
 		if r.DisableCache || !q.cacheable() {
 			todo = append(todo, i)
 			continue
 		}
-		k := q.key()
-		keys[i] = k
+		k := keys[i]
 		if res, ok := r.lookup(k); ok {
 			results[i] = res
 			continue
@@ -292,11 +411,9 @@ func (r *Runner) RunAll(reqs []Request) ([]pipeline.Result, error) {
 	}
 
 	var failures []RunError
-	for i, err := range errs {
-		if err != nil {
-			failures = append(failures, RunError{
-				ID: reqs[i].ID, Bench: reqs[i].Bench, Policy: reqs[i].policy(), Err: err,
-			})
+	for _, re := range errs {
+		if re != nil {
+			failures = append(failures, *re)
 		}
 	}
 	if len(failures) > 0 {
@@ -305,24 +422,50 @@ func (r *Runner) RunAll(reqs []Request) ([]pipeline.Result, error) {
 	return results, nil
 }
 
-// execute runs one request on the calling worker. Panics (e.g. the
-// pipeline's forward-progress watchdog) are converted into errors so a
-// single bad run fails its request, not the whole sweep.
-func (r *Runner) execute(q *Request, key uint64) (res pipeline.Result, err error) {
-	defer func() {
-		if p := recover(); p != nil {
-			err = fmt.Errorf("run panicked: %v", p)
+// retryDelay returns the backoff before retry number `attempt` (1-based count
+// of attempts already made): Backoff doubled per attempt, base 100ms.
+func (r *Runner) retryDelay(attempt int) time.Duration {
+	base := r.Backoff
+	if base <= 0 {
+		base = 100 * time.Millisecond
+	}
+	return base << (attempt - 1)
+}
+
+// execute runs one request on the calling worker, retrying transient
+// failures (timeouts) with exponential backoff up to Retries extra attempts.
+// Panics and watchdog deadlocks become a structured *RunError carrying the
+// request fingerprint and a machine-state or stack dump, so a single bad run
+// fails its request, not the whole sweep.
+func (r *Runner) execute(q *Request, key uint64) (pipeline.Result, *RunError) {
+	var res pipeline.Result
+	var err error
+	attempts := 0
+	for {
+		attempts++
+		res, err = r.executeOnce(q, key)
+		if err == nil {
+			break
 		}
-	}()
-	gen, err := workload.New(q.Bench, q.Seed)
-	if err != nil {
-		return res, err
+		if _, _, transient := describe(err); !transient || attempts > r.Retries {
+			break
+		}
+		time.Sleep(r.retryDelay(attempts))
 	}
-	p, err := pipeline.New(q.Config, gen, q.Controller)
 	if err != nil {
-		return res, err
+		msg, dump, transient := describe(err)
+		re := &RunError{
+			ID: q.ID, Bench: q.Bench, Policy: q.policy(),
+			Message: msg, Dump: dump, Transient: transient,
+			Attempts: attempts, Err: err,
+		}
+		if q.cacheable() {
+			re.Key = fmt.Sprintf("%016x", key)
+		}
+		// The zero Result, not the partial one: a half-run cell must be
+		// unmistakably a gap, never mistaken for (much worse) real data.
+		return pipeline.Result{}, re
 	}
-	res = p.Run(q.Window)
 
 	r.mu.Lock()
 	r.stats.Runs++
@@ -340,7 +483,83 @@ func (r *Runner) execute(q *Request, key uint64) (res pipeline.Result, err error
 	if !r.DisableCache && q.cacheable() {
 		r.store(key, res)
 	}
+	if q.cacheable() && r.CheckpointDir != "" {
+		// Best-effort: the persisted result lets a -resume process skip
+		// this cell without re-simulating it.
+		r.persistResult(key, res)
+	}
 	return res, nil
+}
+
+// executeOnce makes one attempt at a request: build the workload and
+// processor, arm the wall-clock timeout, resume from a checkpoint if one was
+// left behind, and run — checkpointing every CheckpointEvery commits so the
+// next attempt or process can pick up mid-flight.
+func (r *Runner) executeOnce(q *Request, key uint64) (res pipeline.Result, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = &panicError{value: p, stack: debug.Stack()}
+		}
+	}()
+	build := func() (*pipeline.Processor, error) {
+		gen, gerr := workload.New(q.Bench, q.Seed)
+		if gerr != nil {
+			return nil, gerr
+		}
+		return pipeline.New(q.Config, gen, q.Controller)
+	}
+	p, err := build()
+	if err != nil {
+		return res, err
+	}
+
+	var stop atomic.Bool
+	if r.Timeout > 0 {
+		p.SetStopFlag(&stop)
+		t := time.AfterFunc(r.Timeout, func() { stop.Store(true) })
+		defer t.Stop()
+	}
+
+	// Crash safety. Only cacheable requests checkpoint (the fingerprint
+	// names the file), and only when every attached component supports
+	// snapshotting; others simply run unprotected.
+	ckPath := ""
+	if r.CheckpointDir != "" && q.cacheable() && p.Checkpointable() == nil {
+		ckPath = r.checkpointPath(key)
+		if lerr := loadCheckpointFile(p, ckPath); lerr != nil {
+			// A corrupt or mismatched snapshot can leave the machine
+			// half-restored: drop the file and rebuild from scratch.
+			os.Remove(ckPath)
+			if p, err = build(); err != nil {
+				return res, err
+			}
+			if r.Timeout > 0 {
+				p.SetStopFlag(&stop)
+			}
+		}
+	}
+
+	for p.Committed() < q.Window {
+		chunk := q.Window - p.Committed()
+		if ckPath != "" && r.CheckpointEvery > 0 && chunk > r.CheckpointEvery {
+			chunk = r.CheckpointEvery
+		}
+		if res, err = p.Run(chunk); err != nil {
+			return res, err
+		}
+		if ckPath != "" && r.CheckpointEvery > 0 && p.Committed() < q.Window {
+			if serr := saveCheckpointFile(p, ckPath); serr != nil {
+				// Best-effort: a full disk should slow the sweep
+				// down, not kill it.
+				os.Remove(ckPath)
+				ckPath = ""
+			}
+		}
+	}
+	if ckPath != "" {
+		os.Remove(ckPath)
+	}
+	return p.Stats(), nil
 }
 
 // Each runs fn(0..n-1) on a pool of the given width (<= 0 selects

@@ -294,7 +294,10 @@ func (s *System) Run(epochs int, epochCycles uint64) (Report, error) {
 	for e := 0; e < epochs; e++ {
 		stats := make([]ThreadStats, len(s.procs))
 		for i, p := range s.procs {
-			r := p.RunCycles(epochCycles)
+			r, err := p.RunCycles(epochCycles)
+			if err != nil {
+				return s.report, fmt.Errorf("smt: thread %d: %w", i, err)
+			}
 			dInstr := r.Instructions - s.lastInstr[i]
 			dDist := r.DistantCommitted - s.lastDistant[i]
 			dCyc := r.Cycles - s.lastCycle[i]

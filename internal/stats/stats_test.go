@@ -25,7 +25,7 @@ func TestRecorderCollectsIntervals(t *testing.T) {
 	r := NewRecorder(1000)
 	r.Reset(16)
 	p := pipeline.MustNew(pipeline.DefaultConfig(), workload.MustNew("gzip", 1), r)
-	p.Run(25_000)
+	mustRun(t, p, 25_000)
 	ivs := r.Intervals()
 	if len(ivs) < 20 {
 		t.Fatalf("got %d intervals, want >= 20", len(ivs))
@@ -50,7 +50,7 @@ func TestRecorderPinsClusters(t *testing.T) {
 	r := NewRecorder(1000)
 	r.Clusters = 4
 	p := pipeline.MustNew(pipeline.DefaultConfig(), workload.MustNew("gzip", 1), r)
-	p.Run(10_000)
+	mustRun(t, p, 10_000)
 	if p.ActiveClusters() != 4 {
 		t.Fatalf("recorder did not pin clusters: %d", p.ActiveClusters())
 	}
@@ -349,4 +349,14 @@ func TestAnalysisDegenerateInputs(t *testing.T) {
 	for _, tc := range cases {
 		t.Run(tc.name, tc.run)
 	}
+}
+
+// mustRun advances p by n committed instructions, failing the test on error.
+func mustRun(tb testing.TB, p *pipeline.Processor, n uint64) pipeline.Result {
+	tb.Helper()
+	res, err := p.Run(n)
+	if err != nil {
+		tb.Fatalf("Run: %v", err)
+	}
+	return res
 }
