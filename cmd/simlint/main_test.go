@@ -1,0 +1,106 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeModule lays out a throwaway module with one library package whose
+// cleanliness is controlled by the caller.
+func writeModule(t *testing.T, libSrc string) string {
+	t.Helper()
+	root := t.TempDir()
+	if err := os.WriteFile(filepath.Join(root, "go.mod"),
+		[]byte("module smoketest\n\ngo 1.24\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(root, "lib")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "lib.go"), []byte(libSrc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return root
+}
+
+const cleanSrc = `package lib
+
+func Add(a, b int) int { return a + b }
+`
+
+// dirtySrc trips nopanic once.
+const dirtySrc = `package lib
+
+func Add(a, b int) int {
+	if a < 0 {
+		panic("negative")
+	}
+	return a + b
+}
+`
+
+func TestExitCodes(t *testing.T) {
+	var out, errBuf bytes.Buffer
+
+	clean := writeModule(t, cleanSrc)
+	if code := run([]string{"-C", clean, "./..."}, &out, &errBuf); code != 0 {
+		t.Fatalf("clean module: exit %d, stderr: %s", code, errBuf.String())
+	}
+	if out.Len() != 0 {
+		t.Errorf("clean module produced output: %s", out.String())
+	}
+
+	out.Reset()
+	errBuf.Reset()
+	dirty := writeModule(t, dirtySrc)
+	if code := run([]string{"-C", dirty, "./..."}, &out, &errBuf); code != 1 {
+		t.Fatalf("dirty module: exit %d, want 1; stderr: %s", code, errBuf.String())
+	}
+	if !strings.Contains(out.String(), "nopanic") {
+		t.Errorf("text output missing nopanic finding: %s", out.String())
+	}
+	if !strings.Contains(errBuf.String(), "1 finding(s)") {
+		t.Errorf("stderr missing finding count: %s", errBuf.String())
+	}
+}
+
+func TestJSONOutput(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	dirty := writeModule(t, dirtySrc)
+	if code := run([]string{"-json", "-C", dirty, "./..."}, &out, &errBuf); code != 1 {
+		t.Fatalf("exit %d, want 1; stderr: %s", code, errBuf.String())
+	}
+	var rep report
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, out.String())
+	}
+	if len(rep.Findings) != 1 {
+		t.Fatalf("got %d findings, want 1: %+v", len(rep.Findings), rep.Findings)
+	}
+	f := rep.Findings[0]
+	if f.Analyzer != "nopanic" || f.Line == 0 || !strings.HasSuffix(f.File, "lib.go") {
+		t.Errorf("unexpected finding: %+v", f)
+	}
+}
+
+func TestUsageAndListExitCodes(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if code := run(nil, &out, &errBuf); code != 2 {
+		t.Errorf("no packages: exit %d, want 2", code)
+	}
+	out.Reset()
+	errBuf.Reset()
+	if code := run([]string{"-list"}, &out, &errBuf); code != 0 {
+		t.Errorf("-list: exit %d, want 0", code)
+	}
+	for _, name := range []string{"determinism", "snapstate", "statsconserve", "nopanic"} {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("-list output missing %s:\n%s", name, out.String())
+		}
+	}
+}

@@ -1,0 +1,113 @@
+// Package analysistest runs an analyzer over fixture packages and checks
+// its diagnostics against expectations written in the fixtures themselves,
+// mirroring golang.org/x/tools/go/analysis/analysistest.
+//
+// A fixture corpus lives under <testdata>/src/<importpath>/*.go. Each line
+// that should trigger a finding carries a trailing expectation comment:
+//
+//	m := map[int]int{}
+//	for k := range m { // want `iterating a map`
+//		...
+//	}
+//
+// The backquoted strings are regular expressions matched against the
+// diagnostic message; several expectations on one line mean several
+// diagnostics on that line. Lines with no want comment must produce no
+// diagnostics — annotated exemptions (//simlint:allow ...) therefore prove
+// themselves by the absence of a want.
+package analysistest
+
+import (
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"clustersim/internal/analysis"
+)
+
+var wantRe = regexp.MustCompile("`([^`]*)`")
+
+// Run loads each fixture package under dir/src, applies the analyzer, and
+// reports mismatches between produced diagnostics and want expectations
+// through t.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	loader := analysis.NewFixtureLoader(filepath.Join(dir, "src"))
+	for _, path := range pkgPaths {
+		units, err := loader.Load(path)
+		if err != nil {
+			t.Errorf("loading fixture %s: %v", path, err)
+			continue
+		}
+		diags, err := analysis.Run(units, []*analysis.Analyzer{a})
+		if err != nil {
+			t.Errorf("running %s on %s: %v", a.Name, path, err)
+			continue
+		}
+		checkExpectations(t, path, units, diags)
+	}
+}
+
+type expectation struct {
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+// checkExpectations matches diagnostics against want comments, line by line.
+func checkExpectations(t *testing.T, path string, units []*analysis.Unit, diags []analysis.Diagnostic) {
+	t.Helper()
+	wants := make(map[string][]*expectation) // file:line -> expectations
+	for _, u := range units {
+		for _, f := range u.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					text := c.Text
+					idx := strings.Index(text, "want `")
+					if idx < 0 {
+						continue
+					}
+					pos := u.Fset.Position(c.Pos())
+					key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+					for _, m := range wantRe.FindAllStringSubmatch(text[idx:], -1) {
+						re, err := regexp.Compile(m[1])
+						if err != nil {
+							t.Errorf("%s: bad want regexp %q: %v", key, m[1], err)
+							continue
+						}
+						wants[key] = append(wants[key], &expectation{re: re, raw: m[1]})
+					}
+				}
+			}
+		}
+	}
+	for _, d := range diags {
+		key := fmt.Sprintf("%s:%d", d.Pos.Filename, d.Pos.Line)
+		found := false
+		for _, w := range wants[key] {
+			if !w.matched && w.re.MatchString(d.Message) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s: unexpected diagnostic: %s: %s", key, d.Analyzer, d.Message)
+		}
+	}
+	keys := make([]string, 0, len(wants))
+	for key := range wants {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
+		for _, w := range wants[key] {
+			if !w.matched {
+				t.Errorf("%s (%s): expected diagnostic matching %q, got none", key, path, w.raw)
+			}
+		}
+	}
+}

@@ -1,0 +1,33 @@
+package determinism_test
+
+import (
+	"testing"
+
+	"clustersim/internal/analysis/analysistest"
+	"clustersim/internal/analysis/passes/determinism"
+)
+
+func TestDeterminism(t *testing.T) {
+	analysistest.Run(t, "testdata", determinism.Analyzer,
+		"clustersim/internal/core/simfix", "nonsim")
+}
+
+func TestIsSimPackage(t *testing.T) {
+	for _, tc := range []struct {
+		path string
+		want bool
+	}{
+		{"clustersim/internal/core", true},
+		{"clustersim/internal/core/simfix", true},
+		{"clustersim/internal/pipeline", true},
+		{"clustersim/internal/pipeline_test", true}, // external test units
+		{"clustersim/internal/obs", false},
+		{"clustersim/internal/runner", false},
+		{"clustersim/cmd/experiments", false},
+		{"clustersim/internal/corelike", false}, // prefix must be a path boundary
+	} {
+		if got := determinism.IsSimPackage(tc.path); got != tc.want {
+			t.Errorf("IsSimPackage(%q) = %t, want %t", tc.path, got, tc.want)
+		}
+	}
+}

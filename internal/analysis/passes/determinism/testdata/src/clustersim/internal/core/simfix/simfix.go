@@ -1,0 +1,97 @@
+// Package simfix is the determinism fixture: it lives under a simulated
+// clustersim/internal path so the pass treats it as simulation code.
+package simfix
+
+import (
+	"math/rand" // want `import of math/rand is nondeterministic across processes and Go releases`
+	"sort"
+	"time"
+)
+
+type machine struct {
+	events map[uint64]int
+	order  []uint64
+	ipc    map[int]float64
+}
+
+func wallClock() int64 {
+	return time.Now().UnixNano() // want `time.Now reads the wall clock and breaks run determinism`
+}
+
+func elapsed(since time.Time) time.Duration {
+	return time.Since(since) // want `time.Since reads the wall clock and breaks run determinism`
+}
+
+func globalRand() int {
+	return rand.Int()
+}
+
+func (m *machine) leakOrder(out []int) []int {
+	for _, v := range m.events { // want `iterating a map is order-nondeterministic`
+		out = append(out, v)
+	}
+	return out
+}
+
+func (m *machine) floatAccum() float64 {
+	var sum float64
+	for _, v := range m.ipc { // want `iterating a map is order-nondeterministic`
+		sum += v // want `floating-point accumulation over map iteration is order-dependent`
+	}
+	return sum
+}
+
+// collectSorted is the sanctioned key-collection idiom: no diagnostic.
+func (m *machine) collectSorted() []uint64 {
+	keys := make([]uint64, 0, len(m.events))
+	for k := range m.events {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+// collectUnsorted never sorts what it gathered, so order escapes.
+func (m *machine) collectUnsorted() []uint64 {
+	var keys []uint64
+	for k := range m.events { // want `iterating a map is order-nondeterministic`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// collectValues appends the value, which the sort of keys cannot launder.
+func (m *machine) collectValues() []int {
+	var vals []int
+	keys := make([]uint64, 0)
+	for k, v := range m.events { // want `iterating a map is order-nondeterministic`
+		keys = append(keys, k)
+		vals = append(vals, v)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return vals
+}
+
+// gc deletes expired entries from the map it ranges; the runtime allows
+// this and the surviving set is order-independent: no diagnostic.
+func (m *machine) gc(now uint64) {
+	for k, v := range m.events {
+		if uint64(v) <= now {
+			delete(m.events, k)
+		}
+	}
+}
+
+// argMax is order-independent but beyond the safe-pattern recognizers; the
+// allow annotation with a reason silences it.
+func (m *machine) argMax() uint64 {
+	var best uint64
+	bestN := -1
+	//simlint:allow determinism arg-max with a total tie-break is iteration-order independent
+	for k, v := range m.events {
+		if v > bestN || (v == bestN && k > best) {
+			best, bestN = k, v
+		}
+	}
+	return best
+}

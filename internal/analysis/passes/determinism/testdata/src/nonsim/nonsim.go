@@ -1,0 +1,18 @@
+// Package nonsim is outside the simulation-package list: the determinism
+// rules do not apply, so none of these produce diagnostics.
+package nonsim
+
+import (
+	"math/rand"
+	"time"
+)
+
+func wallClock() int64 { return time.Now().UnixNano() }
+
+func anyOrder(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total + rand.Int()
+}

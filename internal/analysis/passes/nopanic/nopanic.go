@@ -1,0 +1,80 @@
+// Package nopanic enforces the simulator's error-boundary convention:
+// library packages report failures as errors (PR 4 pushed every
+// constructor and Run to an error return), so a bare panic in library
+// code is either a misclassified configuration error or an internal
+// invariant that should be annotated as such.
+//
+// A panic call is legal only
+//
+//   - inside a function or method whose name starts with "Must" (the
+//     sanctioned panicking wrappers over error-returning constructors),
+//   - inside an init function,
+//   - in package main (command wiring may abort freely), or
+//   - under an explicit //simlint:allow nopanic <reason> annotation,
+//     which is how genuine can't-happen invariants (for example
+//     "pipeline: store retired out of order") document themselves.
+//
+// Test files are exempt: a test panic fails the test, which is the
+// desired behavior.
+package nopanic
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"clustersim/internal/analysis"
+)
+
+// Analyzer is the nopanic pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "nopanic",
+	Doc: "restrict panic in library packages to Must* wrappers, init " +
+		"functions, and annotated invariants",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	if pass.Pkg.Name() == "main" || pass.TestUnit {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if exemptFunc(fn) {
+				continue
+			}
+			checkBody(pass, fn)
+		}
+	}
+	return nil
+}
+
+// exemptFunc reports whether panics anywhere inside fn (closures
+// included) are sanctioned by its name.
+func exemptFunc(fn *ast.FuncDecl) bool {
+	name := fn.Name.Name
+	return strings.HasPrefix(name, "Must") || name == "init"
+}
+
+func checkBody(pass *analysis.Pass, fn *ast.FuncDecl) {
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		id, ok := call.Fun.(*ast.Ident)
+		if !ok || id.Name != "panic" {
+			return true
+		}
+		if _, builtin := pass.Info.Uses[id].(*types.Builtin); !builtin {
+			return true
+		}
+		pass.Reportf(call.Pos(), "panic in library code outside a Must* wrapper or init; "+
+			"return an error, or annotate //simlint:allow nopanic <reason> for a true invariant")
+		return true
+	})
+}

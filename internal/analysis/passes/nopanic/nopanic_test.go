@@ -1,0 +1,12 @@
+package nopanic_test
+
+import (
+	"testing"
+
+	"clustersim/internal/analysis/analysistest"
+	"clustersim/internal/analysis/passes/nopanic"
+)
+
+func TestNopanic(t *testing.T) {
+	analysistest.Run(t, "testdata", nopanic.Analyzer, "panics", "panicmain")
+}

@@ -1,0 +1,7 @@
+// Command panicmain proves package main is exempt: command wiring may
+// abort freely, so no diagnostics are expected here.
+package main
+
+func main() {
+	panic("usage")
+}

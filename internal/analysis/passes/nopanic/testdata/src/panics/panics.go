@@ -1,0 +1,42 @@
+// Package panics exercises the nopanic rules: bare panics in library
+// code are flagged; Must* wrappers, init functions, and annotated
+// invariants are not.
+package panics
+
+import "errors"
+
+// Open is ordinary library code: its panic is a misclassified error.
+func Open(name string) error {
+	if name == "" {
+		panic("empty name") // want `panic in library code outside a Must\* wrapper or init`
+	}
+	return nil
+}
+
+// deep proves closures inside ordinary functions are checked too.
+func deep() func() {
+	return func() {
+		panic("inner") // want `panic in library code`
+	}
+}
+
+// MustOpen is a sanctioned panicking wrapper.
+func MustOpen(name string) {
+	if err := Open(name); err != nil {
+		panic(err)
+	}
+}
+
+func init() {
+	if errors.New("x") == nil {
+		panic("impossible")
+	}
+}
+
+// retire documents a genuine can't-happen invariant.
+func retire(seq int) {
+	if seq < 0 {
+		//simlint:allow nopanic retirement order invariant; unreachable for any in-range sequence
+		panic("panics: retired out of order")
+	}
+}

@@ -1,0 +1,16 @@
+// Package nostats proves the pass only fires on Stats structs that
+// declare a Conserved method: without one there is no identity to fall
+// out of, so nothing is reported.
+package nostats
+
+type Stats struct {
+	Hits   uint64
+	Misses uint64
+}
+
+// Other is not named Stats and is ignored even with a Conserved method.
+type Other struct {
+	N uint64
+}
+
+func (o *Other) Conserved() bool { return true }

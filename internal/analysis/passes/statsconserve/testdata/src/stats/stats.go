@@ -1,0 +1,26 @@
+// Package stats exercises the statsconserve coverage rules on a Stats
+// struct with a Conserved method.
+package stats
+
+// Stats mirrors the simulator's per-component counter blocks.
+type Stats struct {
+	Hits   uint64
+	Misses uint64
+	// Evictions is preserved by Merge rather than constrained by
+	// conservation; mention in any covering method counts.
+	Evictions uint64
+	Orphan    uint64 // want `numeric field Stats\.Orphan is missing from the Conserved/Merge identities`
+	//simlint:allow statsconserve diagnostic-only gauge, reset every interval by the probe layer
+	Gauge float64
+	Label string // non-numeric fields are out of scope
+}
+
+// Conserved checks the hit/miss balance.
+func (s *Stats) Conserved(accesses uint64) bool {
+	return s.Hits+s.Misses == accesses
+}
+
+// Merge folds another interval's counters in.
+func (s *Stats) Merge(o *Stats) {
+	s.Evictions += o.Evictions
+}

@@ -1,0 +1,115 @@
+package suite_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"clustersim/internal/analysis"
+	"clustersim/internal/analysis/passes/snapstate"
+	"clustersim/internal/analysis/passes/statsconserve"
+)
+
+// TestMutationUnserializedFieldIsCaught is a mutation-style regression test
+// for the drift alarms: it copies the real interconnect package (and its
+// one dependency) into a scratch module, confirms the pristine copy is
+// clean, then injects the exact bug the analyzers exist to catch — a new
+// counter on Stats that neither the snapshot codec nor the conservation
+// identities know about — and asserts both snapstate and statsconserve
+// report it.
+func TestMutationUnserializedFieldIsCaught(t *testing.T) {
+	root := t.TempDir()
+	copyFile(t, "../../../go.mod", filepath.Join(root, "go.mod"))
+	for _, pkg := range []string{"internal/snap", "internal/interconnect"} {
+		copyPackage(t, filepath.Join("../../..", pkg), filepath.Join(root, pkg))
+	}
+
+	run := func() []analysis.Diagnostic {
+		l, err := analysis.NewLoader(root, false)
+		if err != nil {
+			t.Fatalf("NewLoader: %v", err)
+		}
+		units, err := l.Load("./internal/interconnect")
+		if err != nil {
+			t.Fatalf("Load: %v", err)
+		}
+		diags, err := analysis.Run(units,
+			[]*analysis.Analyzer{snapstate.Analyzer, statsconserve.Analyzer})
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		return diags
+	}
+
+	if diags := run(); len(diags) != 0 {
+		t.Fatalf("pristine copy is not clean: %v", diags)
+	}
+
+	// Mutate: grow Stats by a field no codec or identity mentions.
+	target := filepath.Join(root, "internal/interconnect/interconnect.go")
+	src, err := os.ReadFile(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const anchor = "type Stats struct {"
+	if !strings.Contains(string(src), anchor) {
+		t.Fatalf("anchor %q not found in %s", anchor, target)
+	}
+	mutated := strings.Replace(string(src), anchor,
+		anchor+"\n\tMutantDrops uint64", 1)
+	if err := os.WriteFile(target, []byte(mutated), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	diags := run()
+	var bySnap, byCons bool
+	for _, d := range diags {
+		if !strings.Contains(d.Message, "Stats.MutantDrops") {
+			t.Errorf("unexpected diagnostic: %s", d)
+			continue
+		}
+		switch d.Analyzer {
+		case "snapstate":
+			bySnap = true
+		case "statsconserve":
+			byCons = true
+		}
+	}
+	if !bySnap {
+		t.Errorf("snapstate did not report the unserialized Stats.MutantDrops field")
+	}
+	if !byCons {
+		t.Errorf("statsconserve did not report the unconserved Stats.MutantDrops field")
+	}
+}
+
+// copyPackage copies the non-test Go files of one package directory.
+func copyPackage(t *testing.T, from, to string) {
+	t.Helper()
+	if err := os.MkdirAll(to, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(from)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		copyFile(t, filepath.Join(from, name), filepath.Join(to, name))
+	}
+}
+
+func copyFile(t *testing.T, from, to string) {
+	t.Helper()
+	data, err := os.ReadFile(from)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(to, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,20 @@
+// Package suite assembles the simulator's analyzer set in the order the
+// multichecker runs them. cmd/simlint and the self-tests share this list
+// so a pass added here is automatically wired into both.
+package suite
+
+import (
+	"clustersim/internal/analysis"
+	"clustersim/internal/analysis/passes/determinism"
+	"clustersim/internal/analysis/passes/nopanic"
+	"clustersim/internal/analysis/passes/snapstate"
+	"clustersim/internal/analysis/passes/statsconserve"
+)
+
+// Analyzers is the full simlint suite.
+var Analyzers = []*analysis.Analyzer{
+	determinism.Analyzer,
+	snapstate.Analyzer,
+	statsconserve.Analyzer,
+	nopanic.Analyzer,
+}

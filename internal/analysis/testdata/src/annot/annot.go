@@ -1,0 +1,15 @@
+// Package annot exercises the //simlint: annotation machinery through a
+// toy analyzer that reports every function declaration.
+package annot
+
+func plain() {}
+
+func allowed() {} //simlint:allow toy covered by the integration harness
+
+//simlint:allow toy a standalone comment also covers the next line
+func standalone() {}
+
+func wrongRule() {} //simlint:allow otherpass a different rule must not suppress
+
+//simlint:allow
+func malformed() {}

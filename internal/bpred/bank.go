@@ -12,9 +12,9 @@ import "fmt"
 // prediction down to the low-order bits — the property §5 of the paper uses
 // to avoid flushing the predictor on reconfiguration.
 type BankPredictor struct {
-	l1Size   int
-	l2Size   int
-	maxBanks int
+	l1Size   int      //simlint:nostate table geometry, rebuilt by the constructor
+	l2Size   int      //simlint:nostate table geometry, rebuilt by the constructor
+	maxBanks int      //simlint:nostate table geometry, rebuilt by the constructor
 	hist     []uint32 // per-PC folded history of recent banks
 	banks    []uint8  // second level: predicted bank
 	conf     []uint8  // 2-bit confidence alongside each prediction

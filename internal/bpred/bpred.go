@@ -96,7 +96,7 @@ func bump(c uint8, up bool) uint8 {
 // Predictor is the combining conditional-branch predictor with BTB and RAS.
 // It is not safe for concurrent use.
 type Predictor struct {
-	cfg     Config
+	cfg     Config //simlint:nostate configuration, rebuilt by the constructor
 	bimodal []uint8
 	hist    []uint16
 	level2  []uint8

@@ -134,6 +134,7 @@ func (k *Invariants) Err() error {
 func (k *Invariants) fail(cycle uint64, invariant, format string, args ...any) {
 	v := Violation{Cycle: cycle, Invariant: invariant, Detail: fmt.Sprintf(format, args...)}
 	if k.failFast {
+		//simlint:allow nopanic fail-fast mode is an explicit user request to halt at the first violation with a full stack
 		panic("check: " + v.String())
 	}
 	if len(k.violations) >= maxViolations {

@@ -69,8 +69,8 @@ const DefaultDistantFrac = 0.78
 // the narrow or wide configuration directly. Reaction is fast — one
 // interval — at the cost of measurement noise.
 type DistantILP struct {
-	cfg   DistantILPConfig
-	total int
+	cfg   DistantILPConfig //simlint:nostate configuration, fixed at construction
+	total int              //simlint:nostate configuration, fixed at construction
 
 	meter     intervalMeter
 	measuring bool
@@ -85,7 +85,7 @@ type DistantILP struct {
 	phaseChanges uint64
 	decisions    uint64
 
-	dobs decisionObserver
+	dobs decisionObserver //simlint:nostate decision observer; checkpointing is refused while one is attached
 }
 
 // AttachObserver implements pipeline.ObserverAware.

@@ -93,9 +93,9 @@ func (c *ExploreConfig) setDefaults(total int) {
 // Explore is the §4.2 interval-based controller with exploration and a
 // variable interval length (Figure 4).
 type Explore struct {
-	cfg ExploreConfig
+	cfg ExploreConfig //simlint:nostate configuration, fixed at construction
 
-	total          int
+	total          int //simlint:nostate configuration, fixed at construction
 	intervalLength uint64
 
 	meter intervalMeter
@@ -135,7 +135,7 @@ type Explore struct {
 	explorations   uint64
 	intervalGrowth int
 
-	dobs decisionObserver
+	dobs decisionObserver //simlint:nostate decision observer; checkpointing is refused while one is attached
 }
 
 // AttachObserver implements pipeline.ObserverAware: decisions are reported
@@ -367,6 +367,7 @@ func (e *Explore) endInterval(now uint64) {
 // escape hatch).
 func (e *Explore) discontinue() {
 	best, bestN := e.total, uint64(0)
+	//simlint:allow determinism arg-max reduction with a total tie-break (count, then cluster number) is iteration-order independent
 	for cfgN, n := range e.popularity {
 		if n > bestN || (n == bestN && cfgN > best) {
 			best, bestN = cfgN, n

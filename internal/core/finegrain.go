@@ -85,8 +85,8 @@ type fgEntry struct {
 // distant-ILP content can be observed; afterwards the table advises narrow
 // or wide directly.
 type FineGrain struct {
-	cfg   FineGrainConfig
-	total int
+	cfg   FineGrainConfig //simlint:nostate configuration, fixed at construction
+	total int             //simlint:nostate configuration, fixed at construction
 
 	table []fgEntry
 
@@ -103,7 +103,7 @@ type FineGrain struct {
 	reconfigLookups uint64
 	tableFlushes    uint64
 
-	dobs decisionObserver
+	dobs decisionObserver //simlint:nostate decision observer; checkpointing is refused while one is attached
 }
 
 // AttachObserver implements pipeline.ObserverAware. Decisions are emitted

@@ -172,9 +172,9 @@ func (s Stats) Conserved(prev Stats, diameter int) error {
 
 // Ring is a bidirectional ring built from two unidirectional rings.
 type Ring struct {
-	n      int
-	hopLat uint64
-	free   bool // if true, transfers are instantaneous (ablation mode)
+	n      int    //simlint:nostate geometry, rebuilt by the constructor
+	hopLat uint64 //simlint:nostate geometry, rebuilt by the constructor
+	free   bool   //simlint:nostate ablation switch, part of configuration; if true, transfers are instantaneous
 	cw     []Calendar
 	ccw    []Calendar
 	stats  Stats
@@ -363,10 +363,10 @@ func (r *Ring) Stats() Stats { return r.stats }
 
 // Grid is a two-dimensional mesh with XY (dimension-ordered) routing.
 type Grid struct {
-	n      int
-	w, h   int
-	hopLat uint64
-	free   bool
+	n      int    //simlint:nostate geometry, rebuilt by the constructor
+	w, h   int    //simlint:nostate geometry, rebuilt by the constructor
+	hopLat uint64 //simlint:nostate geometry, rebuilt by the constructor
+	free   bool   //simlint:nostate ablation switch, part of configuration
 	// Link calendars, indexed by node*4+direction, directions being
 	// 0=east, 1=west, 2=south, 3=north.
 	links []Calendar

@@ -10,9 +10,9 @@ package mem
 // array is a set-associative tag array with true-LRU replacement. It tracks
 // only tags and dirty bits; the simulator never stores data values.
 type array struct {
-	sets      int
-	ways      int
-	lineShift uint
+	sets      int  //simlint:nostate geometry, rebuilt by the constructor
+	ways      int  //simlint:nostate geometry, rebuilt by the constructor
+	lineShift uint //simlint:nostate geometry, rebuilt by the constructor
 	valid     []bool
 	dirty     []bool
 	tags      []uint64

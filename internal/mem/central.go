@@ -8,8 +8,8 @@ import "clustersim/internal/interconnect"
 // 6-cycle RAM lookup (§2.1: "cluster 3 experiences a total communication
 // cost of four cycles for each load" on the 16-cluster ring).
 type central struct {
-	cfg      Config
-	net      interconnect.Network
+	cfg      Config               //simlint:nostate configuration, rebuilt by the constructor
+	net      interconnect.Network //simlint:nostate wiring reference; the network serializes its own state
 	arr      *array
 	l2       *l2
 	bankFree []interconnect.Calendar
@@ -17,7 +17,7 @@ type central struct {
 
 	// freeLoadComm implements the §4 ablation "assuming zero
 	// inter-cluster communication cost for loads and stores".
-	freeLoadComm bool
+	freeLoadComm bool //simlint:nostate ablation switch, part of configuration
 }
 
 func newCentral(cfg Config, net interconnect.Network) *central {

@@ -9,8 +9,8 @@ import "clustersim/internal/interconnect"
 // flush (§5). The L2 stays co-located with cluster 0: a miss in bank b pays
 // b→0 and 0→b trips.
 type dist struct {
-	cfg         Config
-	net         interconnect.Network
+	cfg         Config               //simlint:nostate configuration, rebuilt by the constructor
+	net         interconnect.Network //simlint:nostate wiring reference; the network serializes its own state
 	banks       []*array
 	l2          *l2
 	bankFree    []interconnect.Calendar

@@ -8,8 +8,8 @@ package mem
 // round trip. Timing only — instruction bytes are never stored.
 type ICache struct {
 	arr         *array
-	lineShift   uint
-	missLatency uint64
+	lineShift   uint   //simlint:nostate geometry, rebuilt by the constructor
+	missLatency uint64 //simlint:nostate configuration, rebuilt by the constructor
 	hits        uint64
 	misses      uint64
 }
@@ -77,8 +77,8 @@ func (c *ICache) Reset() {
 // modelled as a fully-associative LRU array of page numbers. A miss costs a
 // fixed page-walk latency.
 type TLB struct {
-	pageShift uint
-	walk      uint64
+	pageShift uint     //simlint:nostate geometry, rebuilt by the constructor
+	walk      uint64   //simlint:nostate configuration, rebuilt by the constructor
 	entries   []uint64 // page numbers, +1 so zero means empty
 	age       []uint64
 	clock     uint64

@@ -9,15 +9,15 @@ import "clustersim/internal/interconnect"
 // merge (MSHR behaviour).
 type l2 struct {
 	arr        *array
-	latency    uint64 // hit latency (25)
-	memLatency uint64 // miss additional latency (160)
-	busyCycles uint64 // initiation interval of the tag pipeline
-	memBusy    uint64 // memory-bus cycles per fetched line
+	latency    uint64 //simlint:nostate configuration; hit latency (25)
+	memLatency uint64 //simlint:nostate configuration; miss additional latency (160)
+	busyCycles uint64 //simlint:nostate configuration; initiation interval of the tag pipeline
+	memBusy    uint64 //simlint:nostate configuration; memory-bus cycles per fetched line
 	bus        interconnect.Calendar
 	memBus     interconnect.Calendar
 	// pendingMiss maps line address -> cycle the line arrives from memory.
 	pendingMiss map[uint64]uint64
-	stats       *Stats
+	stats       *Stats //simlint:nostate aliases the parent organization's Stats, which serializes them; re-wired by the constructor
 }
 
 func newL2(cfg Config, stats *Stats) *l2 {

@@ -44,23 +44,26 @@ func TestObserverCountersMatchResult(t *testing.T) {
 	res := mustRun(t, p, 60_000)
 
 	snap := ob.Registry.Snapshot()
-	for name, want := range map[string]uint64{
-		"pipeline.cycles":            res.Cycles,
-		"pipeline.instructions":      res.Instructions,
-		"pipeline.fetched":           res.Fetched,
-		"pipeline.dispatched":        res.Dispatched,
-		"pipeline.redirects":         res.Redirects,
-		"pipeline.reconfigs":         res.Reconfigs,
-		"pipeline.distant_issued":    res.DistantIssued,
-		"pipeline.distant_committed": res.DistantCommitted,
-		"pipeline.reg_transfers":     res.RegTransfers,
-		"mem.l1_hits":                res.Mem.L1Hits,
-		"mem.l1_misses":              res.Mem.L1Misses,
-		"net.transfers":              res.Net.Transfers,
-		"net.hops":                   res.Net.Hops,
+	for _, c := range []struct {
+		name string
+		want uint64
+	}{
+		{"pipeline.cycles", res.Cycles},
+		{"pipeline.instructions", res.Instructions},
+		{"pipeline.fetched", res.Fetched},
+		{"pipeline.dispatched", res.Dispatched},
+		{"pipeline.redirects", res.Redirects},
+		{"pipeline.reconfigs", res.Reconfigs},
+		{"pipeline.distant_issued", res.DistantIssued},
+		{"pipeline.distant_committed", res.DistantCommitted},
+		{"pipeline.reg_transfers", res.RegTransfers},
+		{"mem.l1_hits", res.Mem.L1Hits},
+		{"mem.l1_misses", res.Mem.L1Misses},
+		{"net.transfers", res.Net.Transfers},
+		{"net.hops", res.Net.Hops},
 	} {
-		if got := snap.Counters[name]; got != want {
-			t.Errorf("counter %s = %d, Result says %d", name, got, want)
+		if got := snap.Counters[c.name]; got != c.want {
+			t.Errorf("counter %s = %d, Result says %d", c.name, got, c.want)
 		}
 	}
 

@@ -358,15 +358,18 @@ func TestHopLatencySlowsCommunication(t *testing.T) {
 }
 
 func TestFuForMapping(t *testing.T) {
-	cases := map[isa.Class]fuKind{
-		isa.IntALU: fuIntALU, isa.Load: fuIntALU, isa.Store: fuIntALU,
-		isa.Branch: fuIntALU, isa.Call: fuIntALU, isa.Return: fuIntALU,
-		isa.IntMult: fuIntMulDiv, isa.IntDiv: fuIntMulDiv,
-		isa.FPALU: fuFPALU, isa.FPMult: fuFPMulDiv, isa.FPDiv: fuFPMulDiv,
+	cases := []struct {
+		c    isa.Class
+		want fuKind
+	}{
+		{isa.IntALU, fuIntALU}, {isa.Load, fuIntALU}, {isa.Store, fuIntALU},
+		{isa.Branch, fuIntALU}, {isa.Call, fuIntALU}, {isa.Return, fuIntALU},
+		{isa.IntMult, fuIntMulDiv}, {isa.IntDiv, fuIntMulDiv},
+		{isa.FPALU, fuFPALU}, {isa.FPMult, fuFPMulDiv}, {isa.FPDiv, fuFPMulDiv},
 	}
-	for c, want := range cases {
-		if got := fuFor(c); got != want {
-			t.Errorf("fuFor(%s) = %d, want %d", c, got, want)
+	for _, tc := range cases {
+		if got := fuFor(tc.c); got != tc.want {
+			t.Errorf("fuFor(%s) = %d, want %d", tc.c, got, tc.want)
 		}
 	}
 }

@@ -70,20 +70,21 @@ type Processor struct {
 	// RunCycles; raising it makes the run return a *StoppedError. The
 	// runner uses it to enforce wall-clock timeouts without killing the
 	// process.
+	//simlint:nostate runner-owned stop flag, re-armed by the resuming runner
 	stop *atomic.Bool
 
 	// Observability. obs is nil when disabled, making every hook a single
 	// pointer test; nextSample is the next probe cycle (noSample when
 	// sampling is off).
 	obs        *obs.Observer
-	oh         obsHandles
-	nextSample uint64
+	oh         obsHandles //simlint:nostate observability handles; Checkpointable refuses runs with an observer attached
+	nextSample uint64     //simlint:nostate observability cursor; Checkpointable refuses runs with an observer attached
 
 	// Validation. chk is nil when disabled, making the per-cycle hook a
 	// single pointer test; view is the reusable state snapshot handed to
 	// the checker (see check.go).
 	chk  Checker
-	view MachineView
+	view MachineView //simlint:nostate checker scratch; Checkpointable refuses runs with a checker attached
 }
 
 // New builds a Processor. A nil Controller leaves the active-cluster count
@@ -433,6 +434,7 @@ func (p *Processor) popStore(seq uint64) {
 		return
 	}
 	// A store must retire in order; anything else is a bookkeeping bug.
+	//simlint:allow nopanic scoreboard-corruption invariant, unreachable from any configuration; the watchdog recover turns it into a DeadlockError dump
 	panic("pipeline: store retired out of order")
 }
 

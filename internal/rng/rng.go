@@ -65,6 +65,7 @@ func (r *Source) Uint64() uint64 {
 // Intn returns a pseudo-random int in [0, n). It panics if n <= 0.
 func (r *Source) Intn(n int) int {
 	if n <= 0 {
+		//simlint:allow nopanic mirrors the math/rand.Intn contract; a non-positive bound is a programming error, not a runtime condition
 		panic("rng: Intn called with non-positive n")
 	}
 	// Lemire's multiply-shift bounded generation (slightly biased for

@@ -1,12 +1,27 @@
 package workload
 
-import "testing"
+import (
+	"sort"
+	"testing"
+)
+
+// sortedKeys returns a map's keys in sorted order so test sweeps iterate
+// (and report failures) deterministically.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
 
 // TestProgramDefinitionsSane validates every benchmark's kernel parameters
 // structurally, so a mistyped constant fails fast rather than producing a
 // silently miscalibrated program.
 func TestProgramDefinitionsSane(t *testing.T) {
-	for name, prog := range programs {
+	for _, name := range sortedKeys(programs) {
+		prog := programs[name]
 		if prog.name != name {
 			t.Errorf("%s: program name field %q mismatched", name, prog.name)
 		}
@@ -77,7 +92,8 @@ func TestProgramDefinitionsSane(t *testing.T) {
 
 // TestPaperDataSane validates the published-characteristics table.
 func TestPaperDataSane(t *testing.T) {
-	for name, pd := range paperData {
+	for _, name := range sortedKeys(paperData) {
+		pd := paperData[name]
 		if pd.Suite == "" {
 			t.Errorf("%s: empty suite", name)
 		}

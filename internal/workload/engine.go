@@ -119,7 +119,7 @@ const (
 // engine executes a program, emitting one dynamic instruction per Next call.
 type engine struct {
 	prog     program
-	seed     uint64
+	seed     uint64 //simlint:nostate construction input; a snapshot only restores onto a same-(benchmark,seed) engine
 	compiled []compiledPhase
 
 	r   *rng.Source

@@ -16,7 +16,7 @@ func TestBenchmarksListed(t *testing.T) {
 			t.Errorf("benchmark %s has no paper data", n)
 		}
 	}
-	for n := range paperData {
+	for _, n := range sortedKeys(paperData) {
 		if _, ok := programs[n]; !ok {
 			t.Errorf("paper data for %s has no program", n)
 		}
