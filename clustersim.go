@@ -28,6 +28,7 @@ package clustersim
 import (
 	"fmt"
 	"io"
+	"time"
 
 	"clustersim/internal/check"
 	"clustersim/internal/core"
@@ -36,6 +37,7 @@ import (
 	"clustersim/internal/pipeline"
 	"clustersim/internal/smt"
 	"clustersim/internal/stats"
+	"clustersim/internal/telemetry"
 	"clustersim/internal/workload"
 )
 
@@ -131,6 +133,14 @@ type (
 	ChromeSink = obs.ChromeSink
 	// TimeSeries accumulates probe samples for CSV export.
 	TimeSeries = obs.TimeSeries
+
+	// PhaseTimer attributes the simulator's own wall-clock time to
+	// cycle-loop phases by sampling (set Config.Phases); a nil timer costs
+	// one pointer test per cycle. One timer may be shared across
+	// concurrent runs.
+	PhaseTimer = telemetry.PhaseTimer
+	// PhaseReport is a point-in-time phase-attribution summary.
+	PhaseReport = telemetry.PhaseReport
 )
 
 // Topology and cache-model selectors.
@@ -233,6 +243,26 @@ func NewChromeSink(w io.Writer) *ChromeSink { return obs.NewChromeSink(w) }
 // bound, reporting the bound address; the returned function shuts it down.
 func ServeMetrics(addr string, r *MetricsRegistry) (string, func() error, error) {
 	return obs.Serve(addr, r)
+}
+
+// ServeMetricsPprof is ServeMetrics with the Go profiling endpoints added
+// under /debug/pprof/, so a long-running simulation can be CPU/heap-profiled
+// live.
+func ServeMetricsPprof(addr string, r *MetricsRegistry) (string, func() error, error) {
+	return obs.Serve(addr, r, obs.WithPprof())
+}
+
+// NewPhaseTimer returns a wall-clock phase timer sampling one cycle in every
+// period (rounded up to a power of two; 0 selects the default, 1 in 64).
+// Attach it via Config.Phases.
+func NewPhaseTimer(period uint64) *PhaseTimer { return telemetry.NewPhaseTimer(period) }
+
+// StartRuntimeSampler periodically samples the Go runtime's own health
+// metrics (heap, GC pauses, goroutines, scheduler latency) into the registry
+// as "runtime.*" gauges until the returned stop function is called; interval
+// <= 0 selects one second.
+func StartRuntimeSampler(r *MetricsRegistry, interval time.Duration) (stop func()) {
+	return telemetry.StartRuntimeSampler(r, interval)
 }
 
 // Instability computes the §4.1 instability factor (percent of unstable

@@ -1,0 +1,122 @@
+// Command benchdiff compares two benchmark runs and fails on regressions —
+// the repository's perf-regression gate.
+//
+// Usage:
+//
+//	go test -bench . -count 5 > new.txt
+//	benchdiff [-metric ns/op] [-threshold 10] OLD NEW
+//	benchdiff -write-baseline BENCH_new.json NEW
+//
+// OLD and NEW are each either raw `go test -bench` output or benchdiff/v1
+// baseline JSON (bare, or embedded under a "baseline" key in a committed
+// BENCH_*.json artifact). Medians per benchmark are compared in a
+// benchstat-style table; any benchmark whose chosen metric regresses by more
+// than -threshold percent makes benchdiff exit 1, so CI can gate on it:
+//
+//	go run ./cmd/benchdiff -metric allocs/op -threshold 10 BENCH_telemetry.json new.txt
+//
+// Gate CI on allocs/op, not ns/op: allocation counts are deterministic and
+// machine-independent, while wall-clock baselines recorded on one machine do
+// not transfer to another (compare ns/op locally, on the same box).
+//
+// Exit status: 0 no regression; 1 regression beyond threshold; 2 usage or
+// input error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"clustersim/internal/benchfmt"
+)
+
+func main() {
+	metric := flag.String("metric", "ns/op", "unit to compare (ns/op | B/op | allocs/op | ...)")
+	threshold := flag.Float64("threshold", 5, "regression threshold in percent")
+	writeBaseline := flag.String("write-baseline", "", "write NEW as benchdiff/v1 baseline JSON to this path and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: benchdiff [flags] OLD NEW\n       benchdiff -write-baseline OUT NEW\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *writeBaseline != "" {
+		if flag.NArg() != 1 {
+			flag.Usage()
+			os.Exit(2)
+		}
+		b, err := benchfmt.ReadFile(flag.Arg(0))
+		if err != nil {
+			fatal("%v", err)
+		}
+		if err := b.WriteFile(*writeBaseline); err != nil {
+			fatal("%v", err)
+		}
+		fmt.Fprintf(os.Stderr, "benchdiff: wrote %d benchmark(s) to %s\n", len(b.Metrics), *writeBaseline)
+		return
+	}
+
+	if flag.NArg() != 2 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	old, err := benchfmt.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal("%v", err)
+	}
+	new, err := benchfmt.ReadFile(flag.Arg(1))
+	if err != nil {
+		fatal("%v", err)
+	}
+
+	deltas, onlyOld, onlyNew := benchfmt.Diff(old, new, *metric)
+	if len(deltas) == 0 {
+		fatal("no benchmark appears in both inputs with metric %q", *metric)
+	}
+
+	width := len("benchmark")
+	for _, d := range deltas {
+		if len(d.Name) > width {
+			width = len(d.Name)
+		}
+	}
+	fmt.Printf("metric: %s   threshold: ±%g%%\n", *metric, *threshold)
+	fmt.Printf("%-*s  %14s  %14s  %8s\n", width, "benchmark", "old", "new", "delta")
+	regressed := 0
+	for _, d := range deltas {
+		mark := ""
+		if d.Regressed(*metric, *threshold) {
+			mark = "  REGRESSION"
+			regressed++
+		}
+		fmt.Printf("%-*s  %14s  %14s  %+7.1f%%%s\n",
+			width, d.Name, fmtValue(d.Old), fmtValue(d.New), d.Pct, mark)
+	}
+	if len(onlyOld) > 0 {
+		fmt.Printf("only in old: %s\n", strings.Join(onlyOld, ", "))
+	}
+	if len(onlyNew) > 0 {
+		fmt.Printf("only in new: %s\n", strings.Join(onlyNew, ", "))
+	}
+	if regressed > 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: %d benchmark(s) regressed beyond %g%% on %s\n",
+			regressed, *threshold, *metric)
+		os.Exit(1)
+	}
+}
+
+// fmtValue renders a metric value compactly: integers stay integral, large
+// values keep their magnitude readable.
+func fmtValue(v float64) string {
+	if v == float64(int64(v)) {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%.2f", v)
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "benchdiff: "+format+"\n", args...)
+	os.Exit(2)
+}

@@ -1,0 +1,126 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildBenchdiff compiles the CLI once per test into a temp dir.
+func buildBenchdiff(t *testing.T) string {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("builds and runs the binary")
+	}
+	bin := filepath.Join(t.TempDir(), "benchdiff")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+func writeTemp(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const oldRun = `BenchmarkFig3-8        	      10	 100000000 ns/op	 50000 B/op	     500 allocs/op
+BenchmarkFig3-8        	      10	 102000000 ns/op	 50000 B/op	     500 allocs/op
+BenchmarkFig3-8        	      10	  98000000 ns/op	 50000 B/op	     500 allocs/op
+BenchmarkTable4-8      	      10	 200000000 ns/op	 80000 B/op	     800 allocs/op
+PASS
+`
+
+// newRegressed injects a +25% ns/op regression into Fig3 (Table4 unchanged).
+const newRegressed = `BenchmarkFig3-8        	      10	 125000000 ns/op	 50000 B/op	     500 allocs/op
+BenchmarkFig3-8        	      10	 125000000 ns/op	 50000 B/op	     500 allocs/op
+BenchmarkFig3-8        	      10	 125000000 ns/op	 50000 B/op	     500 allocs/op
+BenchmarkTable4-8      	      10	 201000000 ns/op	 80000 B/op	     800 allocs/op
+PASS
+`
+
+// TestDetectsInjectedRegression is the gate's own acceptance test: a
+// synthetic ≥20% regression must flag the offending benchmark and exit
+// nonzero.
+func TestDetectsInjectedRegression(t *testing.T) {
+	bin := buildBenchdiff(t)
+	oldPath := writeTemp(t, "old.txt", oldRun)
+	newPath := writeTemp(t, "new.txt", newRegressed)
+
+	out, err := exec.Command(bin, "-metric", "ns/op", "-threshold", "10", oldPath, newPath).CombinedOutput()
+	if err == nil {
+		t.Fatalf("exit 0 despite +25%% regression:\n%s", out)
+	}
+	ee, ok := err.(*exec.ExitError)
+	if !ok || ee.ExitCode() != 1 {
+		t.Fatalf("want exit 1, got %v:\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "REGRESSION") || !strings.Contains(string(out), "Fig3") {
+		t.Fatalf("regression not named:\n%s", out)
+	}
+	if strings.Contains(string(out), "Table4  ") && strings.Contains(string(out), "Table4") &&
+		strings.Count(string(out), "REGRESSION") != 1 {
+		t.Fatalf("unchanged benchmark flagged:\n%s", out)
+	}
+}
+
+// TestPassesWithinThreshold: the same inputs clear a generous threshold.
+func TestPassesWithinThreshold(t *testing.T) {
+	bin := buildBenchdiff(t)
+	oldPath := writeTemp(t, "old.txt", oldRun)
+	newPath := writeTemp(t, "new.txt", newRegressed)
+
+	out, err := exec.Command(bin, "-metric", "ns/op", "-threshold", "30", oldPath, newPath).CombinedOutput()
+	if err != nil {
+		t.Fatalf("exit nonzero within threshold: %v\n%s", err, out)
+	}
+
+	// allocs/op did not move at all — the CI gate's metric stays green
+	// even while ns/op regresses.
+	out, err = exec.Command(bin, "-metric", "allocs/op", "-threshold", "10", oldPath, newPath).CombinedOutput()
+	if err != nil {
+		t.Fatalf("allocs/op gate failed on unchanged allocations: %v\n%s", err, out)
+	}
+}
+
+// TestWriteBaselineAndCompare: a run is frozen into baseline JSON, then a
+// later text run compares against it (the CI workflow shape).
+func TestWriteBaselineAndCompare(t *testing.T) {
+	bin := buildBenchdiff(t)
+	oldPath := writeTemp(t, "old.txt", oldRun)
+	basePath := filepath.Join(t.TempDir(), "baseline.json")
+
+	if out, err := exec.Command(bin, "-write-baseline", basePath, oldPath).CombinedOutput(); err != nil {
+		t.Fatalf("write-baseline: %v\n%s", err, out)
+	}
+	newPath := writeTemp(t, "new.txt", newRegressed)
+	out, err := exec.Command(bin, "-metric", "ns/op", "-threshold", "10", basePath, newPath).CombinedOutput()
+	ee, ok := err.(*exec.ExitError)
+	if !ok || ee.ExitCode() != 1 {
+		t.Fatalf("baseline comparison: want exit 1, got %v:\n%s", err, out)
+	}
+}
+
+// TestUsageErrors: bad invocations exit 2, never 1 (so CI can tell "gate
+// tripped" from "gate misconfigured").
+func TestUsageErrors(t *testing.T) {
+	bin := buildBenchdiff(t)
+	for _, args := range [][]string{
+		{},
+		{"one-arg-only"},
+		{"/nonexistent/a", "/nonexistent/b"},
+	} {
+		err := exec.Command(bin, args...).Run()
+		ee, ok := err.(*exec.ExitError)
+		if !ok || ee.ExitCode() != 2 {
+			t.Errorf("args %v: want exit 2, got %v", args, err)
+		}
+	}
+}

@@ -7,7 +7,8 @@
 //	clustersim -bench swim -policy static -clusters 8 -cache dist -topo grid
 //	clustersim -bench gzip -trace out.jsonl -metrics m.json
 //	clustersim -bench gzip -trace gzip.trace -trace-format chrome
-//	clustersim -bench parser -n 100000000 -serve :8080
+//	clustersim -bench parser -n 100000000 -serve :8080 -pprof
+//	clustersim -bench gzip -phases   # wall-clock phase attribution table
 //	clustersim -bench gzip -check    # validate cycle-level invariants
 package main
 
@@ -35,6 +36,9 @@ func main() {
 	metrics := flag.String("metrics", "", "write a metrics snapshot (JSON) to this file")
 	sample := flag.Uint64("sample", 10_000, "probe sampling period in cycles (0 disables)")
 	serve := flag.String("serve", "", "serve live metrics over HTTP on this address (e.g. :8080)")
+	servePprof := flag.Bool("pprof", false, "with -serve, also expose Go profiling endpoints under /debug/pprof/")
+	phases := flag.Bool("phases", false, "attribute simulator wall time to pipeline phases and print the table")
+	phaseSample := flag.Uint64("phase-sample", 0, "phase-attribution sampling period in cycles (0 = default, 1 in 64)")
 	checkInv := flag.Bool("check", false, "validate cycle-level invariants during the run (exit 1 on violation)")
 	flag.Parse()
 
@@ -111,14 +115,30 @@ func main() {
 			}
 		}
 		if *serve != "" {
-			addr, closeServe, err := clustersim.ServeMetrics(*serve, ob.Registry)
+			serveFn := clustersim.ServeMetrics
+			endpoints := "/metrics, /metrics.csv, /debug/vars"
+			if *servePprof {
+				serveFn = clustersim.ServeMetricsPprof
+				endpoints += ", /debug/pprof/"
+			}
+			addr, closeServe, err := serveFn(*serve, ob.Registry)
 			if err != nil {
 				fatal("%v", err)
 			}
 			defer closeServe()
-			fmt.Fprintf(os.Stderr, "serving metrics on %s (/metrics, /metrics.csv, /debug/vars)\n", addr)
+			// A served registry also reports the simulator process's own
+			// runtime health alongside the simulated machine.
+			stopSampler := clustersim.StartRuntimeSampler(ob.Registry, 0)
+			defer stopSampler()
+			fmt.Fprintf(os.Stderr, "serving metrics on %s (%s)\n", addr, endpoints)
 		}
 		cfg.Observer = ob
+	}
+
+	var ptimer *clustersim.PhaseTimer
+	if *phases {
+		ptimer = clustersim.NewPhaseTimer(*phaseSample)
+		cfg.Phases = ptimer
 	}
 
 	var chk *clustersim.InvariantChecker
@@ -169,6 +189,9 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("invariants       ok (%d cycles checked)\n", chk.CyclesChecked())
+	}
+	if ptimer != nil {
+		fmt.Print(ptimer.Report().Table())
 	}
 }
 

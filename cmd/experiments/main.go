@@ -32,6 +32,19 @@
 // each run's wall-clock time, retried -retries times with backoff (a retry
 // resumes from the run's last snapshot when checkpointing is on).
 //
+// # Telemetry
+//
+// -progress streams JSONL progress events (one per resolved run, with live
+// completed/total counts and an EWMA-based ETA) to a file or stderr ('-').
+// -serve exposes live sweep gauges (inflight runs, queue depth, worker
+// utilization, cache hit rate) plus the Go runtime's own health metrics over
+// HTTP while experiments run; -pprof adds the /debug/pprof/ endpoints.
+// -profile-dir captures whole-invocation CPU and heap pprof profiles.
+// -phase-profile attributes the sweep's wall-clock time to pipeline stages
+// (commit, reconfig, issue, mem, dispatch, fetch, observe) by sampling, and
+// prints the attribution table on stderr. All of it is attribution-only:
+// simulation results are bit-identical with telemetry on or off.
+//
 // Exit status: 0 all runs succeeded; 1 an experiment produced no output;
 // 2 usage error; 3 every experiment printed, but some cells failed.
 package main
@@ -40,13 +53,16 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
 	"time"
 
 	"clustersim/internal/experiments"
+	"clustersim/internal/obs"
 	"clustersim/internal/runner"
+	"clustersim/internal/telemetry"
 )
 
 func main() {
@@ -67,6 +83,12 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "wall-clock budget per run attempt (0 = unlimited); expiry is a transient, retryable failure")
 	retries := flag.Int("retries", 0, "extra attempts for transient (timed-out) runs")
 	manifest := flag.String("manifest", "", "failure-manifest path (default <checkpoint-dir>/failures.json; empty without -checkpoint-dir)")
+	progress := flag.String("progress", "", "stream JSONL progress events (with EWMA ETA) to this file, or '-' for stderr")
+	profileDir := flag.String("profile-dir", "", "capture whole-invocation CPU and heap pprof profiles under this directory")
+	phaseProfile := flag.Bool("phase-profile", false, "attribute sweep wall time to pipeline phases and print the table on stderr")
+	phaseSample := flag.Uint64("phase-sample", 0, "phase-attribution sampling period in cycles (0 = default, 1 in 64)")
+	serve := flag.String("serve", "", "serve live sweep metrics over HTTP on this address while experiments run")
+	servePprof := flag.Bool("pprof", false, "with -serve, also expose Go profiling endpoints under /debug/pprof/")
 	flag.Parse()
 
 	reg := experiments.Registry()
@@ -95,6 +117,67 @@ func main() {
 	if *ckDir != "" {
 		rn.CheckpointEvery = *ckEvery
 	}
+
+	// Sweep telemetry: any of -progress, -serve or -profile-dir instruments
+	// the runner. Attribution never feeds back into simulation: results are
+	// bit-identical with telemetry on or off.
+	var progressW *telemetry.ProgressWriter
+	if *progress != "" {
+		// Wrapping stderr hides its Closer so ProgressWriter.Close never
+		// closes the process's stderr; a real file is passed as-is and
+		// closed properly.
+		var w io.Writer = struct{ io.Writer }{os.Stderr}
+		if *progress != "-" {
+			f, err := os.Create(*progress)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: progress: %v\n", err)
+				os.Exit(2)
+			}
+			w = f
+		}
+		progressW = telemetry.NewProgressWriter(w)
+		defer progressW.Close()
+	}
+	var sweepReg *obs.Registry
+	if *serve != "" {
+		sweepReg = obs.NewRegistry()
+		var serveOpts []obs.ServeOption
+		endpoints := "/metrics, /metrics.csv, /debug/vars"
+		if *servePprof {
+			serveOpts = append(serveOpts, obs.WithPprof())
+			endpoints += ", /debug/pprof/"
+		}
+		addr, closeServe, err := obs.Serve(*serve, sweepReg, serveOpts...)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(2)
+		}
+		defer closeServe()
+		stopSampler := telemetry.StartRuntimeSampler(sweepReg, 0)
+		defer stopSampler()
+		fmt.Fprintf(os.Stderr, "experiments: serving sweep metrics on %s (%s)\n", addr, endpoints)
+	}
+	if progressW != nil || sweepReg != nil {
+		rn.Meter = telemetry.NewSweepMeter(sweepReg, progressW)
+	}
+	if *profileDir != "" {
+		stopProfiles, err := telemetry.StartProfiles(*profileDir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(2)
+		}
+		defer func() {
+			if err := stopProfiles(); err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: profiles: %v\n", err)
+				return
+			}
+			fmt.Fprintf(os.Stderr, "experiments: wrote cpu.pprof and heap.pprof under %s\n", *profileDir)
+		}()
+	}
+	var ptimer *telemetry.PhaseTimer
+	if *phaseProfile {
+		ptimer = telemetry.NewPhaseTimer(*phaseSample)
+	}
 	if *resume {
 		if *ckDir == "" {
 			fmt.Fprintln(os.Stderr, "experiments: -resume requires -checkpoint-dir")
@@ -111,6 +194,7 @@ func main() {
 		Seed: *seed, Scale: *scale,
 		ObsDir: *obsDir, ObsSamplePeriod: *obsSample,
 		Parallel: *parallel, Runner: rn, Check: *checkInv,
+		Phases: ptimer,
 	}
 	if *benches != "" {
 		opts.Benchmarks = strings.Split(*benches, ",")
@@ -163,6 +247,9 @@ func main() {
 	st := rn.Stats()
 	fmt.Fprintf(os.Stderr, "experiments: %d simulator runs, %d cache hits, %d deduped\n",
 		st.Runs, st.CacheHits, st.Deduped)
+	if ptimer != nil {
+		fmt.Fprint(os.Stderr, ptimer.Report().Table())
+	}
 	if *obsDir != "" {
 		writeAggregate(*obsDir, rn)
 	}

@@ -1,0 +1,266 @@
+// Package benchfmt parses `go test -bench` output and the repository's
+// committed benchmark baselines, and computes per-benchmark deltas between
+// two runs. It is the engine behind cmd/benchdiff, the perf-regression gate.
+//
+// Two input forms are understood:
+//
+//   - raw benchmark text: the "BenchmarkName-8  100  12345 ns/op ..." lines
+//     of a `go test -bench . -count N` run (everything else is ignored, so
+//     full test output can be piped in unfiltered);
+//   - baseline JSON in the benchdiff/v1 format below, either as the whole
+//     document or embedded under a top-level "baseline" key — which lets a
+//     narrative BENCH_*.json artifact double as a machine-readable baseline.
+//
+// The baseline format stores the per-metric median and the raw samples:
+//
+//	{
+//	  "format": "benchdiff/v1",
+//	  "metrics": {
+//	    "SimulatorThroughput/gzip": {
+//	      "ns/op": {"median": 123456, "samples": [121000, 123456, 125000]},
+//	      "allocs/op": {"median": 42, "samples": [42, 42, 42]}
+//	    }
+//	  }
+//	}
+//
+// Medians, not means: a single scheduler hiccup inflates a mean arbitrarily,
+// while the median of 5+ samples is stable enough to gate CI on.
+package benchfmt
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Set accumulates raw samples: benchmark name → unit → samples in input
+// order. Benchmark names are normalized (the "-8" GOMAXPROCS suffix and the
+// "Benchmark" prefix are stripped) so runs from machines with different core
+// counts compare.
+type Set map[string]map[string][]float64
+
+// add records one sample.
+func (s Set) add(name, unit string, v float64) {
+	m, ok := s[name]
+	if !ok {
+		m = make(map[string][]float64)
+		s[name] = m
+	}
+	m[unit] = append(m[unit], v)
+}
+
+// normalizeName strips the "Benchmark" prefix and the trailing "-N"
+// GOMAXPROCS suffix from a benchmark name (sub-benchmark slashes are kept).
+func normalizeName(name string) string {
+	name = strings.TrimPrefix(name, "Benchmark")
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	return name
+}
+
+// ParseLine parses one benchmark result line. It reports ok=false for
+// anything that is not a result line (PASS, ok, log output, headers).
+func ParseLine(line string) (name string, values map[string]float64, ok bool) {
+	f := strings.Fields(line)
+	// Minimum shape: Benchmark<Name>-N  <iters>  <value> <unit>.
+	if len(f) < 4 || !strings.HasPrefix(f[0], "Benchmark") {
+		return "", nil, false
+	}
+	if _, err := strconv.ParseInt(f[1], 10, 64); err != nil {
+		return "", nil, false
+	}
+	values = make(map[string]float64)
+	for i := 2; i+1 < len(f); i += 2 {
+		v, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			return "", nil, false
+		}
+		values[f[i+1]] = v
+	}
+	if len(values) == 0 {
+		return "", nil, false
+	}
+	return normalizeName(f[0]), values, true
+}
+
+// Parse reads `go test -bench` output, collecting every result line into a
+// Set. Non-benchmark lines are ignored; an input with no benchmark lines at
+// all is an error (almost certainly a wrong file).
+func Parse(r io.Reader) (Set, error) {
+	set := make(Set)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	for sc.Scan() {
+		name, values, ok := ParseLine(sc.Text())
+		if !ok {
+			continue
+		}
+		for unit, v := range values {
+			set.add(name, unit, v)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("benchfmt: %w", err)
+	}
+	if len(set) == 0 {
+		return nil, fmt.Errorf("benchfmt: no benchmark result lines found")
+	}
+	return set, nil
+}
+
+// Median returns the median of samples (0 for an empty slice).
+func Median(samples []float64) float64 {
+	n := len(samples)
+	if n == 0 {
+		return 0
+	}
+	s := make([]float64, n)
+	copy(s, samples)
+	sort.Float64s(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// FormatV1 is the baseline document's format tag.
+const FormatV1 = "benchdiff/v1"
+
+// Metric is one benchmark's one-unit summary in a baseline.
+type Metric struct {
+	Median  float64   `json:"median"`
+	Samples []float64 `json:"samples,omitempty"`
+}
+
+// Baseline is the committed, machine-readable form of a benchmark run.
+type Baseline struct {
+	Format string `json:"format"`
+	// Metrics maps benchmark name → unit → summary.
+	Metrics map[string]map[string]Metric `json:"metrics"`
+}
+
+// ToBaseline summarizes a raw sample set into a baseline document.
+func (s Set) ToBaseline() Baseline {
+	b := Baseline{Format: FormatV1, Metrics: make(map[string]map[string]Metric, len(s))}
+	for name, units := range s {
+		m := make(map[string]Metric, len(units))
+		for unit, samples := range units {
+			m[unit] = Metric{Median: Median(samples), Samples: samples}
+		}
+		b.Metrics[name] = m
+	}
+	return b
+}
+
+// embedded is the shape of a narrative BENCH_*.json artifact carrying a
+// baseline under its "baseline" key.
+type embedded struct {
+	Baseline *Baseline `json:"baseline"`
+}
+
+// ReadFile loads one benchmark input: benchdiff/v1 JSON (whole-document or
+// embedded under "baseline"), or raw `go test -bench` text.
+func ReadFile(path string) (Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Baseline{}, fmt.Errorf("benchfmt: %w", err)
+	}
+	trimmed := strings.TrimSpace(string(data))
+	if strings.HasPrefix(trimmed, "{") {
+		var b Baseline
+		if err := json.Unmarshal(data, &b); err == nil && b.Format == FormatV1 && len(b.Metrics) > 0 {
+			return b, nil
+		}
+		var e embedded
+		if err := json.Unmarshal(data, &e); err == nil && e.Baseline != nil &&
+			e.Baseline.Format == FormatV1 && len(e.Baseline.Metrics) > 0 {
+			return *e.Baseline, nil
+		}
+		return Baseline{}, fmt.Errorf("benchfmt: %s: JSON without a %s baseline (top-level or under \"baseline\")", path, FormatV1)
+	}
+	set, err := Parse(strings.NewReader(string(data)))
+	if err != nil {
+		return Baseline{}, fmt.Errorf("benchfmt: %s: %w", path, err)
+	}
+	return set.ToBaseline(), nil
+}
+
+// WriteFile writes the baseline as indented JSON.
+func (b Baseline) WriteFile(path string) error {
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return fmt.Errorf("benchfmt: %w", err)
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// LowerIsBetter reports whether smaller values of the unit are improvements
+// (time, bytes and allocations are; throughput units are not).
+func LowerIsBetter(unit string) bool {
+	switch unit {
+	case "ns/op", "B/op", "allocs/op":
+		return true
+	}
+	return false
+}
+
+// Delta is one benchmark's old→new comparison for a single unit.
+type Delta struct {
+	Name string
+	Old  float64
+	New  float64
+	// Pct is the signed relative change in percent ((new-old)/old × 100).
+	Pct float64
+}
+
+// Regressed reports whether the delta is a regression beyond the threshold
+// (in percent), respecting the unit's improvement direction.
+func (d Delta) Regressed(unit string, thresholdPct float64) bool {
+	if LowerIsBetter(unit) {
+		return d.Pct > thresholdPct
+	}
+	return d.Pct < -thresholdPct
+}
+
+// Diff compares the unit's medians of every benchmark present in both
+// baselines, sorted by name; onlyOld and onlyNew list benchmarks (with that
+// unit) present in just one side, so a silently vanished benchmark is
+// visible rather than silently ungated.
+func Diff(old, new Baseline, unit string) (deltas []Delta, onlyOld, onlyNew []string) {
+	for name, units := range old.Metrics {
+		om, ok := units[unit]
+		if !ok {
+			continue
+		}
+		nm, ok := new.Metrics[name][unit]
+		if !ok {
+			onlyOld = append(onlyOld, name)
+			continue
+		}
+		d := Delta{Name: name, Old: om.Median, New: nm.Median}
+		if om.Median != 0 {
+			d.Pct = (nm.Median - om.Median) / om.Median * 100
+		}
+		deltas = append(deltas, d)
+	}
+	for name, units := range new.Metrics {
+		if _, ok := units[unit]; !ok {
+			continue
+		}
+		if _, ok := old.Metrics[name][unit]; !ok {
+			onlyNew = append(onlyNew, name)
+		}
+	}
+	sort.Slice(deltas, func(i, j int) bool { return deltas[i].Name < deltas[j].Name })
+	sort.Strings(onlyOld)
+	sort.Strings(onlyNew)
+	return deltas, onlyOld, onlyNew
+}

@@ -1,0 +1,188 @@
+package benchfmt
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeFile(path, content string) error {
+	return os.WriteFile(path, []byte(content), 0o644)
+}
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: clustersim
+cpu: AMD EPYC 7B13
+BenchmarkSimulatorThroughput/gzip-8         	     100	  11000000 ns/op	 1200 B/op	      12 allocs/op
+BenchmarkSimulatorThroughput/gzip-8         	     100	  12000000 ns/op	 1100 B/op	      12 allocs/op
+BenchmarkSimulatorThroughput/gzip-8         	     100	  13000000 ns/op	 1300 B/op	      12 allocs/op
+BenchmarkSimulatorThroughput/swim-8         	      50	  21000000 ns/op	 2200 B/op	      24 allocs/op
+BenchmarkStepNoObserver-8                   	 2000000	       650.5 ns/op	       0 B/op	       0 allocs/op
+PASS
+ok  	clustersim	12.345s
+`
+
+func TestParse(t *testing.T) {
+	set, err := Parse(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(set) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3: %v", len(set), set)
+	}
+	gz := set["SimulatorThroughput/gzip"]
+	if gz == nil {
+		t.Fatal("GOMAXPROCS suffix or Benchmark prefix not stripped")
+	}
+	if len(gz["ns/op"]) != 3 {
+		t.Fatalf("gzip ns/op samples = %v, want 3", gz["ns/op"])
+	}
+	if got := Median(gz["ns/op"]); got != 12000000 {
+		t.Fatalf("median = %v, want 12000000", got)
+	}
+	if got := set["StepNoObserver"]["ns/op"]; len(got) != 1 || got[0] != 650.5 {
+		t.Fatalf("float ns/op = %v", got)
+	}
+	if got := set["SimulatorThroughput/swim"]["allocs/op"]; len(got) != 1 || got[0] != 24 {
+		t.Fatalf("allocs/op = %v", got)
+	}
+}
+
+func TestParseRejectsEmpty(t *testing.T) {
+	if _, err := Parse(strings.NewReader("PASS\nok\n")); err == nil {
+		t.Fatal("no error for input without benchmark lines")
+	}
+}
+
+func TestMedian(t *testing.T) {
+	cases := []struct {
+		in   []float64
+		want float64
+	}{
+		{nil, 0},
+		{[]float64{5}, 5},
+		{[]float64{3, 1, 2}, 2},
+		{[]float64{4, 1, 3, 2}, 2.5},
+	}
+	for _, c := range cases {
+		if got := Median(c.in); got != c.want {
+			t.Errorf("Median(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestBaselineRoundTrip(t *testing.T) {
+	set, err := Parse(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := set.ToBaseline()
+	if b.Format != FormatV1 {
+		t.Fatalf("format = %q", b.Format)
+	}
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	if err := b.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Metrics["SimulatorThroughput/gzip"]["ns/op"].Median != 12000000 {
+		t.Fatalf("round-tripped baseline = %+v", got)
+	}
+}
+
+func TestReadFileRawText(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.txt")
+	if err := writeFile(path, sampleOutput); err != nil {
+		t.Fatal(err)
+	}
+	b, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Metrics["SimulatorThroughput/swim"]["ns/op"].Median != 21000000 {
+		t.Fatalf("text baseline = %+v", b)
+	}
+}
+
+func TestReadFileEmbeddedBaseline(t *testing.T) {
+	// A narrative BENCH_*.json artifact carrying the baseline under a
+	// "baseline" key must load like a bare baseline.
+	doc := `{
+  "note": "human-readable narrative fields are ignored",
+  "results": {"whatever": [1, 2, 3]},
+  "baseline": {
+    "format": "benchdiff/v1",
+    "metrics": {"Fig3": {"allocs/op": {"median": 42}}}
+  }
+}`
+	path := filepath.Join(t.TempDir(), "BENCH_test.json")
+	if err := writeFile(path, doc); err != nil {
+		t.Fatal(err)
+	}
+	b, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Metrics["Fig3"]["allocs/op"].Median != 42 {
+		t.Fatalf("embedded baseline = %+v", b)
+	}
+}
+
+func TestReadFileRejectsForeignJSON(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "other.json")
+	if err := writeFile(path, `{"foo": 1}`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFile(path); err == nil {
+		t.Fatal("no error for JSON without a baseline")
+	}
+}
+
+func TestDiffAndRegressed(t *testing.T) {
+	old := Baseline{Format: FormatV1, Metrics: map[string]map[string]Metric{
+		"A":    {"ns/op": {Median: 100}},
+		"B":    {"ns/op": {Median: 200}},
+		"Gone": {"ns/op": {Median: 10}},
+	}}
+	new := Baseline{Format: FormatV1, Metrics: map[string]map[string]Metric{
+		"A":   {"ns/op": {Median: 130}}, // +30%: regression
+		"B":   {"ns/op": {Median: 190}}, // -5%: improvement
+		"New": {"ns/op": {Median: 7}},
+	}}
+	deltas, onlyOld, onlyNew := Diff(old, new, "ns/op")
+	if len(deltas) != 2 || deltas[0].Name != "A" || deltas[1].Name != "B" {
+		t.Fatalf("deltas = %+v", deltas)
+	}
+	if deltas[0].Pct != 30 {
+		t.Fatalf("A pct = %v", deltas[0].Pct)
+	}
+	if !deltas[0].Regressed("ns/op", 20) {
+		t.Fatal("+30% not flagged at 20% threshold")
+	}
+	if deltas[0].Regressed("ns/op", 50) {
+		t.Fatal("+30% flagged at 50% threshold")
+	}
+	if deltas[1].Regressed("ns/op", 1) {
+		t.Fatal("improvement flagged as regression")
+	}
+	if len(onlyOld) != 1 || onlyOld[0] != "Gone" {
+		t.Fatalf("onlyOld = %v", onlyOld)
+	}
+	if len(onlyNew) != 1 || onlyNew[0] != "New" {
+		t.Fatalf("onlyNew = %v", onlyNew)
+	}
+
+	// Higher-is-better units regress downward.
+	d := Delta{Pct: -30}
+	if !d.Regressed("MB/s", 20) {
+		t.Fatal("-30% MB/s not flagged")
+	}
+	if (Delta{Pct: 30}).Regressed("MB/s", 20) {
+		t.Fatal("+30% MB/s flagged")
+	}
+}

@@ -20,6 +20,7 @@ import (
 	"clustersim/internal/obs"
 	"clustersim/internal/pipeline"
 	"clustersim/internal/runner"
+	"clustersim/internal/telemetry"
 	"clustersim/internal/workload"
 )
 
@@ -55,6 +56,11 @@ type Options struct {
 	// configurations repeated between figures simulate once. Nil builds
 	// a private runner with Parallel workers per experiment.
 	Runner *runner.Runner
+	// Phases, when non-nil, is attached to every simulated run so the
+	// sweep's wall-clock time is attributed to pipeline phases
+	// (aggregated across the whole pool; attribution-only, results are
+	// bit-identical with or without it).
+	Phases *telemetry.PhaseTimer
 }
 
 func (o Options) seed() uint64 {
@@ -244,6 +250,7 @@ func (o Options) request(id, bench string, cfg pipeline.Config, ctrl pipeline.Co
 		Config:     cfg,
 		Controller: ctrl,
 	}
+	req.Config.Phases = o.Phases
 	if o.Check {
 		// One checker per run: Invariants tracks cumulative counters and
 		// must not be shared across processors.

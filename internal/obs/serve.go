@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"sync"
 )
 
@@ -12,19 +13,39 @@ import (
 // on duplicates; only the first served registry owns it).
 var publishOnce sync.Once
 
+// ServeOption customizes Serve's endpoint set.
+type ServeOption func(*serveConfig)
+
+type serveConfig struct {
+	pprof bool
+}
+
+// WithPprof adds the net/http/pprof handlers under /debug/pprof/, so a
+// long-running sweep can be profiled live (CPU, heap, goroutine, block)
+// without restarting it. Off by default: the profile endpoints expose
+// process internals and belong behind an explicit flag.
+func WithPprof() ServeOption {
+	return func(c *serveConfig) { c.pprof = true }
+}
+
 // Serve exposes live snapshots of the registry over HTTP on addr:
 //
 //	/metrics      JSON snapshot (sorted keys)
 //	/metrics.csv  CSV snapshot
 //	/debug/vars   standard expvar output, including a "clustersim" var
 //	              holding the same snapshot
+//	/debug/pprof/ Go profiling endpoints (only with WithPprof)
 //
 // It returns once the listener is bound, so callers can start a long
 // simulation immediately after; the registry's atomic metrics make
 // concurrent reads safe while the simulation writes. It reports the bound
 // address (resolving a ":0" port request) and a close function that shuts
 // the listener down.
-func Serve(addr string, r *Registry) (bound string, close func() error, err error) {
+func Serve(addr string, r *Registry, opts ...ServeOption) (bound string, close func() error, err error) {
+	var cfg serveConfig
+	for _, opt := range opts {
+		opt(&cfg)
+	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", nil, fmt.Errorf("obs: listen %s: %w", addr, err)
@@ -42,6 +63,13 @@ func Serve(addr string, r *Registry) (bound string, close func() error, err erro
 		r.Snapshot().WriteCSV(w)
 	})
 	mux.Handle("/debug/vars", expvar.Handler())
+	if cfg.pprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	srv := &http.Server{Handler: mux}
 	go srv.Serve(ln)
 	return ln.Addr().String(), ln.Close, nil

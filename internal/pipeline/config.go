@@ -23,6 +23,7 @@ import (
 	"clustersim/internal/bpred"
 	"clustersim/internal/mem"
 	"clustersim/internal/obs"
+	"clustersim/internal/telemetry"
 )
 
 // MaxClusters is the largest cluster count the model supports (the paper's
@@ -169,6 +170,15 @@ type Config struct {
 	// of every cycle. Nil disables checking at zero hot-path cost.
 	// Checkers are stateful: every concurrent run needs its own instance.
 	Checker Checker
+
+	// Phases attaches a wall-clock phase timer that attributes the
+	// simulator's own execution time to cycle-loop stages by sampling one
+	// cycle in every timer period. The timer observes the simulator, never
+	// the simulation — simulated results are bit-identical with or without
+	// it — so it is excluded from Fingerprint and the runner's cache key,
+	// and one timer may be shared across concurrent runs (its counters are
+	// atomic). Nil disables attribution at zero hot-path cost.
+	Phases *telemetry.PhaseTimer
 }
 
 // DefaultConfig returns the paper's Table 1 16-cluster machine with the
@@ -262,8 +272,9 @@ func (c Config) Validate() error {
 // Fingerprint returns a hash of every timing-relevant configuration field.
 // Snapshots embed it so a checkpoint cannot be restored into a processor
 // built from a different configuration (which would silently produce wrong
-// results). Observer and Checker attachments are excluded: they do not
-// influence timing and are never part of a checkpointed run.
+// results). Observer, Checker and Phases attachments are excluded: they do
+// not influence timing (and the first two are never part of a checkpointed
+// run).
 func (c Config) Fingerprint() uint64 {
 	h := fnv.New64a()
 	cc := c
@@ -272,6 +283,7 @@ func (c Config) Fingerprint() uint64 {
 	cc.BankPred = nil
 	cc.Observer = nil
 	cc.Checker = nil
+	cc.Phases = nil
 	fmt.Fprintf(h, "%+v", cc)
 	if c.CacheConfig != nil {
 		fmt.Fprintf(h, "|cache:%+v", *c.CacheConfig)

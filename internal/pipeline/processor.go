@@ -9,6 +9,7 @@ import (
 	"clustersim/internal/isa"
 	"clustersim/internal/mem"
 	"clustersim/internal/obs"
+	"clustersim/internal/telemetry"
 	"clustersim/internal/workload"
 )
 
@@ -85,6 +86,11 @@ type Processor struct {
 	// the checker (see check.go).
 	chk  Checker
 	view MachineView //simlint:nostate checker scratch; Checkpointable refuses runs with a checker attached
+
+	// Wall-clock phase attribution. ptimer is nil when disabled, making the
+	// per-cycle hook a single pointer test; a sampled cycle runs stepTimed
+	// instead of the plain stage sequence.
+	ptimer *telemetry.PhaseTimer //simlint:nostate attribution-only wall-clock timer; never influences simulated state
 }
 
 // New builds a Processor. A nil Controller leaves the active-cluster count
@@ -96,7 +102,7 @@ func New(cfg Config, gen workload.Generator, ctrl Controller) (*Processor, error
 	if gen == nil {
 		return nil, fmt.Errorf("pipeline: nil workload generator")
 	}
-	p := &Processor{cfg: cfg, gen: gen, ctrl: ctrl}
+	p := &Processor{cfg: cfg, gen: gen, ctrl: ctrl, ptimer: cfg.Phases}
 
 	var err error
 	switch cfg.Topology {
@@ -292,6 +298,10 @@ func (p *Processor) RunCycles(n uint64) (Result, error) {
 
 // step advances the machine by one cycle.
 func (p *Processor) step() {
+	if p.ptimer != nil && p.ptimer.Due(p.cycle+1) {
+		p.stepTimed()
+		return
+	}
 	p.cycle++
 	p.commitStage()
 	p.reconfigStage()
@@ -306,6 +316,35 @@ func (p *Processor) step() {
 	if p.chk != nil {
 		p.checkCycle()
 	}
+}
+
+// stepTimed is step for a sampled cycle: the identical stage sequence with a
+// phase-timer lap between stages. It is a mirror rather than inline timing
+// branches so the untimed hot path pays only the single Due test — the clock
+// reads live here (inside telemetry), never in the plain step.
+func (p *Processor) stepTimed() {
+	cur := p.ptimer.Begin()
+	p.cycle++
+	p.commitStage()
+	cur = p.ptimer.Lap(telemetry.PhaseCommit, cur)
+	p.reconfigStage()
+	cur = p.ptimer.Lap(telemetry.PhaseReconfig, cur)
+	p.issueStage()
+	cur = p.ptimer.Lap(telemetry.PhaseIssue, cur)
+	p.memStage()
+	cur = p.ptimer.Lap(telemetry.PhaseMem, cur)
+	p.dispatchStage()
+	cur = p.ptimer.Lap(telemetry.PhaseDispatch, cur)
+	p.fetchStage()
+	cur = p.ptimer.Lap(telemetry.PhaseFetch, cur)
+	p.stats.ActiveSum += uint64(p.active)
+	if p.cycle >= p.nextSample {
+		p.observeSample()
+	}
+	if p.chk != nil {
+		p.checkCycle()
+	}
+	p.ptimer.Lap(telemetry.PhaseObserve, cur)
 }
 
 // Stats returns cumulative run statistics.

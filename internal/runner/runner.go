@@ -39,6 +39,7 @@ import (
 
 	"clustersim/internal/obs"
 	"clustersim/internal/pipeline"
+	"clustersim/internal/telemetry"
 	"clustersim/internal/workload"
 )
 
@@ -126,7 +127,9 @@ func (q *Request) key() uint64 {
 	branchCfg := c.BranchPred
 	bankCfg := c.BankPred
 	chk := c.Checker
-	c.CacheConfig, c.BranchPred, c.BankPred, c.Observer, c.Checker = nil, nil, nil, nil, nil
+	// Phases is attribution-only (never influences results) and its pointer
+	// address is nondeterministic, so it must not reach the %+v hash.
+	c.CacheConfig, c.BranchPred, c.BankPred, c.Observer, c.Checker, c.Phases = nil, nil, nil, nil, nil, nil
 	fmt.Fprintf(h, "%+v", c)
 	// Checked requests are uncacheable, but their keys still drive
 	// intra-batch dedup — fold the validation mode in (never the checker's
@@ -234,7 +237,9 @@ func (e *SweepError) Error() string {
 	return b.String()
 }
 
-// Stats summarizes the runner's lifetime work.
+// Stats summarizes the runner's lifetime work plus a live view of the pool.
+// It is safe to call Stats concurrently with RunAll, so a monitoring
+// goroutine (or a served /metrics endpoint) can watch a sweep in flight.
 type Stats struct {
 	// Runs counts actual simulator executions.
 	Runs int
@@ -242,6 +247,16 @@ type Stats struct {
 	// requests resolved against an identical request in the same batch.
 	CacheHits int
 	Deduped   int
+	// Failures counts runs that exhausted their retries and failed.
+	Failures int
+
+	// Inflight and QueueDepth are live gauges: runs currently executing on
+	// workers, and admitted requests still waiting for one.
+	Inflight   int
+	QueueDepth int
+	// Utilization is the pool's busy fraction since the current batch
+	// started (0 without an attached Meter).
+	Utilization float64
 }
 
 // Runner executes request batches. The zero value is ready to use; a Runner
@@ -275,11 +290,23 @@ type Runner struct {
 	// cleans up snapshots left by an earlier process).
 	CheckpointEvery uint64
 
+	// Meter, when non-nil, instruments the sweep: per-run lifecycle spans
+	// (queue wait, cache lookup, execute, checkpoint write, retry backoff),
+	// live gauges and an optional JSONL progress stream. The instrumentation
+	// is attribution-only — simulated results are byte-identical with or
+	// without it — and a nil Meter costs one pointer test per hook.
+	Meter *telemetry.SweepMeter
+
 	mu      sync.Mutex
 	cache   map[uint64]pipeline.Result
 	stats   Stats
 	agg     obs.Snapshot
 	aggRuns int
+
+	// Live pool gauges, kept independently of Meter so Stats is meaningful
+	// on an uninstrumented runner too.
+	inflight atomic.Int64
+	queued   atomic.Int64
 }
 
 // New returns a Runner with the given pool width (<= 0 selects GOMAXPROCS).
@@ -292,11 +319,16 @@ func (r *Runner) workers() int {
 	return runtime.GOMAXPROCS(0)
 }
 
-// Stats returns the runner's lifetime execution counts.
+// Stats returns the runner's lifetime execution counts and live pool gauges.
+// Safe to call concurrently with RunAll.
 func (r *Runner) Stats() Stats {
 	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.stats
+	s := r.stats
+	r.mu.Unlock()
+	s.Inflight = int(r.inflight.Load())
+	s.QueueDepth = int(r.queued.Load())
+	s.Utilization = r.Meter.Utilization()
+	return s
 }
 
 // AggregateSnapshot returns the merged metrics snapshot of every observed
@@ -343,6 +375,9 @@ func (r *Runner) RunAll(reqs []Request) ([]pipeline.Result, error) {
 	keys := make([]uint64, n)
 	dupOf := make([]int, n)
 
+	r.Meter.BatchStart(n, r.workers())
+	lookupCur := r.Meter.Now()
+
 	// Resolve the cache and dedup identical requests within the batch
 	// before anything runs: the first occurrence executes, later ones copy
 	// its result. Both resolutions are order-deterministic.
@@ -364,6 +399,7 @@ func (r *Runner) RunAll(reqs []Request) ([]pipeline.Result, error) {
 		k := keys[i]
 		if res, ok := r.lookup(k); ok {
 			results[i] = res
+			r.Meter.CacheHit()
 			continue
 		}
 		if j, ok := seen[k]; ok {
@@ -371,11 +407,15 @@ func (r *Runner) RunAll(reqs []Request) ([]pipeline.Result, error) {
 			r.mu.Lock()
 			r.stats.Deduped++
 			r.mu.Unlock()
+			r.Meter.DedupedRun()
 			continue
 		}
 		seen[k] = i
 		todo = append(todo, i)
 	}
+	r.Meter.SpanSince(telemetry.SpanCacheLookup, lookupCur)
+	r.Meter.Enqueued(len(todo))
+	r.queued.Add(int64(len(todo)))
 
 	workers := r.workers()
 	if workers > len(todo) {
@@ -409,6 +449,7 @@ func (r *Runner) RunAll(reqs []Request) ([]pipeline.Result, error) {
 			results[i], errs[i] = results[j], errs[j]
 		}
 	}
+	r.Meter.BatchDone()
 
 	var failures []RunError
 	for _, re := range errs {
@@ -432,12 +473,26 @@ func (r *Runner) retryDelay(attempt int) time.Duration {
 	return base << (attempt - 1)
 }
 
-// execute runs one request on the calling worker, retrying transient
-// failures (timeouts) with exponential backoff up to Retries extra attempts.
-// Panics and watchdog deadlocks become a structured *RunError carrying the
-// request fingerprint and a machine-state or stack dump, so a single bad run
-// fails its request, not the whole sweep.
+// execute runs one request on the calling worker: it brackets the attempt
+// loop with the live pool gauges and the meter's run lifecycle (queue-wait
+// and execute spans, run_done progress event), then delegates to
+// executeAttempts.
 func (r *Runner) execute(q *Request, key uint64) (pipeline.Result, *RunError) {
+	r.queued.Add(-1)
+	r.inflight.Add(1)
+	start := r.Meter.RunStart()
+	res, rerr := r.executeAttempts(q, key)
+	r.inflight.Add(-1)
+	r.Meter.RunDone(q.ID, q.Bench, q.policy(), start, rerr == nil)
+	return res, rerr
+}
+
+// executeAttempts retries transient failures (timeouts) with exponential
+// backoff up to Retries extra attempts. Panics and watchdog deadlocks become
+// a structured *RunError carrying the request fingerprint and a
+// machine-state or stack dump, so a single bad run fails its request, not
+// the whole sweep.
+func (r *Runner) executeAttempts(q *Request, key uint64) (pipeline.Result, *RunError) {
 	var res pipeline.Result
 	var err error
 	attempts := 0
@@ -450,7 +505,9 @@ func (r *Runner) execute(q *Request, key uint64) (pipeline.Result, *RunError) {
 		if _, _, transient := describe(err); !transient || attempts > r.Retries {
 			break
 		}
+		boCur := r.Meter.Now()
 		time.Sleep(r.retryDelay(attempts))
+		r.Meter.SpanSince(telemetry.SpanBackoff, boCur)
 	}
 	if err != nil {
 		msg, dump, transient := describe(err)
@@ -462,6 +519,9 @@ func (r *Runner) execute(q *Request, key uint64) (pipeline.Result, *RunError) {
 		if q.cacheable() {
 			re.Key = fmt.Sprintf("%016x", key)
 		}
+		r.mu.Lock()
+		r.stats.Failures++
+		r.mu.Unlock()
 		// The zero Result, not the partial one: a half-run cell must be
 		// unmistakably a gap, never mistaken for (much worse) real data.
 		return pipeline.Result{}, re
@@ -486,7 +546,9 @@ func (r *Runner) execute(q *Request, key uint64) (pipeline.Result, *RunError) {
 	if q.cacheable() && r.CheckpointDir != "" {
 		// Best-effort: the persisted result lets a -resume process skip
 		// this cell without re-simulating it.
+		ckCur := r.Meter.Now()
 		r.persistResult(key, res)
+		r.Meter.SpanSince(telemetry.SpanCheckpoint, ckCur)
 	}
 	return res, nil
 }
@@ -548,12 +610,14 @@ func (r *Runner) executeOnce(q *Request, key uint64) (res pipeline.Result, err e
 			return res, err
 		}
 		if ckPath != "" && r.CheckpointEvery > 0 && p.Committed() < q.Window {
+			ckCur := r.Meter.Now()
 			if serr := saveCheckpointFile(p, ckPath); serr != nil {
 				// Best-effort: a full disk should slow the sweep
 				// down, not kill it.
 				os.Remove(ckPath)
 				ckPath = ""
 			}
+			r.Meter.SpanSince(telemetry.SpanCheckpoint, ckCur)
 		}
 	}
 	if ckPath != "" {

@@ -1,0 +1,167 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+
+	"clustersim/internal/obs"
+)
+
+// TestSweepMeterNilSafe: every hook on a nil meter must be a no-op — the
+// runner calls them unconditionally and an uninstrumented sweep pays only
+// the pointer test.
+func TestSweepMeterNilSafe(t *testing.T) {
+	var m *SweepMeter
+	m.BatchStart(10, 4)
+	m.Enqueued(3)
+	m.CacheHit()
+	m.DedupedRun()
+	cur := m.RunStart()
+	m.RunDone("id", "bench", "policy", cur, true)
+	m.SpanSince(SpanCheckpoint, m.Now())
+	m.BatchDone()
+	if m.Inflight() != 0 || m.QueueDepth() != 0 || m.Utilization() != 0 || m.SpanNanos(SpanExecute) != 0 {
+		t.Error("nil meter leaked nonzero readings")
+	}
+}
+
+// TestSweepMeterBatch drives a small synthetic batch through the meter and
+// checks counters, registry export and the progress stream agree.
+func TestSweepMeterBatch(t *testing.T) {
+	reg := obs.NewRegistry()
+	var buf bytes.Buffer
+	m := NewSweepMeter(reg, NewProgressWriter(&buf))
+
+	m.BatchStart(4, 2)
+	m.Enqueued(2)
+	if m.QueueDepth() != 2 {
+		t.Fatalf("QueueDepth = %d, want 2", m.QueueDepth())
+	}
+	m.CacheHit()
+	m.DedupedRun()
+
+	cur := m.RunStart()
+	if m.Inflight() != 1 {
+		t.Fatalf("Inflight = %d, want 1", m.Inflight())
+	}
+	m.RunDone("fig3", "gzip", "interval", cur, true)
+
+	cur = m.RunStart()
+	m.RunDone("fig3", "swim", "interval", cur, false)
+	m.BatchDone()
+
+	if m.Inflight() != 0 || m.QueueDepth() != 0 {
+		t.Errorf("end state inflight=%d queued=%d, want 0/0", m.Inflight(), m.QueueDepth())
+	}
+
+	snap := reg.Snapshot()
+	counters := snap.Counters
+	wantCounters := map[string]uint64{
+		"sweep.runs":       2,
+		"sweep.completed":  4,
+		"sweep.cache_hits": 1,
+		"sweep.deduped":    1,
+		"sweep.failures":   1,
+	}
+	for name, want := range wantCounters {
+		if counters[name] != want {
+			t.Errorf("counter %s = %d, want %d", name, counters[name], want)
+		}
+	}
+
+	gauges := snap.Gauges
+	if got := gauges["sweep.cache_hit_rate"]; got != 0.25 {
+		t.Errorf("cache_hit_rate = %v, want 0.25", got)
+	}
+	if got := gauges["sweep.inflight"]; got != 0 {
+		t.Errorf("inflight gauge = %v, want 0", got)
+	}
+
+	if m.SpanNanos(SpanExecute) < 0 {
+		t.Error("negative execute span")
+	}
+	cur = m.Now()
+	m.SpanSince(SpanCheckpoint, cur)
+	if m.SpanNanos(SpanCheckpoint) < 0 {
+		t.Error("negative checkpoint span")
+	}
+
+	// The stream must hold exactly one batch_start, two run_done (one
+	// failed), one batch_done.
+	var events []ProgressEvent
+	for _, line := range strings.Split(strings.TrimRight(buf.String(), "\n"), "\n") {
+		var ev ProgressEvent
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("bad progress line %q: %v", line, err)
+		}
+		events = append(events, ev)
+	}
+	kinds := map[string]int{}
+	failed := 0
+	for _, ev := range events {
+		kinds[ev.Event]++
+		if ev.Event == "run_done" && ev.OK != nil && !*ev.OK {
+			failed++
+		}
+	}
+	if kinds["batch_start"] != 1 || kinds["run_done"] != 2 || kinds["batch_done"] != 1 {
+		t.Errorf("event kinds = %v", kinds)
+	}
+	if failed != 1 {
+		t.Errorf("failed run_done events = %d, want 1", failed)
+	}
+	last := events[len(events)-1]
+	if last.Event != "batch_done" || last.Completed != 4 || last.Runs != 2 {
+		t.Errorf("batch_done = %+v", last)
+	}
+}
+
+// TestSweepMeterNoRegistry: a meter without a registry still counts.
+func TestSweepMeterNoRegistry(t *testing.T) {
+	m := NewSweepMeter(nil, nil)
+	m.BatchStart(1, 1)
+	m.Enqueued(1)
+	cur := m.RunStart()
+	m.RunDone("id", "b", "p", cur, true)
+	m.BatchDone()
+	if m.SpanNanos(SpanQueueWait) < 0 {
+		t.Error("negative queue wait")
+	}
+	if m.Inflight() != 0 || m.QueueDepth() != 0 {
+		t.Error("counts did not settle")
+	}
+}
+
+// TestSweepMeterConcurrent exercises the meter from many goroutines; run
+// under -race this proves the atomics carry the whole state.
+func TestSweepMeterConcurrent(t *testing.T) {
+	reg := obs.NewRegistry()
+	m := NewSweepMeter(reg, nil)
+	const workers, per = 8, 50
+	m.BatchStart(workers*per, workers)
+	m.Enqueued(workers * per)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				cur := m.RunStart()
+				m.RunDone("id", "bench", "policy", cur, true)
+				_ = m.Utilization()
+				_ = m.Inflight()
+			}
+		}()
+	}
+	wg.Wait()
+	m.BatchDone()
+	if got := reg.Snapshot().Counters["sweep.runs"]; got != workers*per {
+		t.Errorf("sweep.runs = %d, want %d", got, workers*per)
+	}
+	if u := m.Utilization(); u < 0 || u > 1 {
+		t.Errorf("utilization %v out of [0,1]", u)
+	}
+}

@@ -1,0 +1,113 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPhaseTimerPeriodRounding(t *testing.T) {
+	cases := []struct{ in, want uint64 }{
+		{0, DefaultPhasePeriod},
+		{1, 1},
+		{2, 2},
+		{3, 4},
+		{64, 64},
+		{100, 128},
+		{1000, 1024},
+	}
+	for _, c := range cases {
+		if got := NewPhaseTimer(c.in).Period(); got != c.want {
+			t.Errorf("NewPhaseTimer(%d).Period() = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestPhaseTimerDue(t *testing.T) {
+	pt := NewPhaseTimer(4)
+	due := 0
+	for cycle := uint64(0); cycle < 64; cycle++ {
+		if pt.Due(cycle) {
+			due++
+			if cycle%4 != 0 {
+				t.Errorf("cycle %d due with period 4", cycle)
+			}
+		}
+	}
+	if due != 16 {
+		t.Errorf("64 cycles at period 4: %d due, want 16", due)
+	}
+}
+
+func TestPhaseTimerAttribution(t *testing.T) {
+	pt := NewPhaseTimer(1) // sample every cycle
+	const cycles = 100
+	for i := 0; i < cycles; i++ {
+		cur := pt.Begin()
+		for p := Phase(0); p < NumPhases; p++ {
+			cur = pt.Lap(p, cur)
+		}
+	}
+	r := pt.Report()
+	if r.SampledCycles != cycles {
+		t.Fatalf("SampledCycles = %d, want %d", r.SampledCycles, cycles)
+	}
+	if len(r.Phases) != int(NumPhases) {
+		t.Fatalf("report has %d phases, want %d", len(r.Phases), NumPhases)
+	}
+	var fracSum float64
+	for _, s := range r.Phases {
+		if s.Laps != cycles {
+			t.Errorf("phase %s laps = %d, want %d", s.Phase, s.Laps, cycles)
+		}
+		if s.Nanos < 0 {
+			t.Errorf("phase %s negative nanos %d", s.Phase, s.Nanos)
+		}
+		fracSum += s.Fraction
+	}
+	if r.TotalNanos > 0 && (fracSum < 0.999 || fracSum > 1.001) {
+		t.Errorf("fractions sum to %v, want ~1", fracSum)
+	}
+}
+
+func TestPhaseReportTable(t *testing.T) {
+	pt := NewPhaseTimer(1)
+	cur := pt.Begin()
+	for p := Phase(0); p < NumPhases; p++ {
+		cur = pt.Lap(p, cur)
+	}
+	table := pt.Report().Table()
+	for p := Phase(0); p < NumPhases; p++ {
+		if !strings.Contains(table, p.String()) {
+			t.Errorf("table missing phase %q:\n%s", p, table)
+		}
+	}
+	if !strings.Contains(table, "share") {
+		t.Errorf("table missing header:\n%s", table)
+	}
+}
+
+func TestPhaseString(t *testing.T) {
+	if PhaseCommit.String() != "commit" || PhaseObserve.String() != "observe" {
+		t.Error("phase names out of order")
+	}
+	if NumPhases.String() != "unknown" {
+		t.Errorf("out-of-range phase = %q, want unknown", NumPhases.String())
+	}
+}
+
+func TestFmtNanos(t *testing.T) {
+	cases := []struct {
+		ns   int64
+		want string
+	}{
+		{500, "500ns"},
+		{2500, "2.50µs"},
+		{3_500_000, "3.50ms"},
+		{2_250_000_000, "2.25s"},
+	}
+	for _, c := range cases {
+		if got := fmtNanos(c.ns); got != c.want {
+			t.Errorf("fmtNanos(%d) = %q, want %q", c.ns, got, c.want)
+		}
+	}
+}

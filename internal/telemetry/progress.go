@@ -1,0 +1,153 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// ProgressEvent is one record of the JSONL progress stream. Every event
+// carries its kind and the milliseconds since the stream opened; the other
+// fields are populated per kind and omitted when zero.
+type ProgressEvent struct {
+	// Event is the record kind: "batch_start", "run_done", "batch_done".
+	Event string `json:"event"`
+	// TMs is milliseconds since the ProgressWriter was created.
+	TMs int64 `json:"t_ms"`
+
+	// ID, Bench and Policy identify the run behind a run_done event.
+	ID     string `json:"id,omitempty"`
+	Bench  string `json:"bench,omitempty"`
+	Policy string `json:"policy,omitempty"`
+	// OK reports whether the run succeeded (run_done only; pointer so
+	// false still serializes).
+	OK *bool `json:"ok,omitempty"`
+	// RunMs is the run's execution wall time in milliseconds.
+	RunMs int64 `json:"run_ms,omitempty"`
+
+	// Completed counts requests resolved so far (executions, cache hits
+	// and dedups alike) out of Total admitted ones.
+	Completed int64 `json:"completed,omitempty"`
+	Total     int64 `json:"total,omitempty"`
+	// Workers is the pool width (batch_start only).
+	Workers int `json:"workers,omitempty"`
+	// Inflight and QueueDepth are the live gauges at emission time.
+	Inflight   int64 `json:"inflight,omitempty"`
+	QueueDepth int64 `json:"queue_depth,omitempty"`
+	// Runs, CacheHits, Deduped and Failed are cumulative counts.
+	Runs      int64 `json:"runs,omitempty"`
+	CacheHits int64 `json:"cache_hits,omitempty"`
+	Deduped   int64 `json:"deduped,omitempty"`
+	Failed    int64 `json:"failed,omitempty"`
+
+	// RatePerS is the EWMA-smoothed completion rate; EtaS the projected
+	// seconds until the remaining requests complete at that rate.
+	RatePerS float64 `json:"rate_per_s,omitempty"`
+	EtaS     float64 `json:"eta_s,omitempty"`
+	// ElapsedS is the total stream lifetime (batch_done only).
+	ElapsedS float64 `json:"elapsed_s,omitempty"`
+}
+
+// ProgressWriter streams ProgressEvents as JSON lines and maintains the
+// EWMA completion-rate estimate behind the ETA. It is safe for concurrent
+// use (sweep workers complete runs concurrently).
+type ProgressWriter struct {
+	mu sync.Mutex
+	w  *bufio.Writer
+	c  io.Closer
+
+	// now is the clock, swappable by tests for deterministic streams.
+	now   func() time.Time
+	start time.Time
+
+	// ewmaDt is the smoothed inter-completion gap in seconds (0 until the
+	// first completion); lastDone the previous completion instant.
+	ewmaDt   float64
+	lastDone time.Time
+	// alpha is the EWMA smoothing factor.
+	alpha float64
+}
+
+// NewProgressWriter wraps w; if w is also an io.Closer, Close closes it.
+func NewProgressWriter(w io.Writer) *ProgressWriter {
+	p := &ProgressWriter{
+		w:     bufio.NewWriterSize(w, 32<<10),
+		now:   time.Now,
+		alpha: 0.2,
+	}
+	p.start = p.now()
+	if c, ok := w.(io.Closer); ok {
+		p.c = c
+	}
+	return p
+}
+
+// Emit writes one event, stamping TMs and — for run_done events — the EWMA
+// rate and ETA. Events are flushed per line so a tail -f (or a streaming
+// consumer) sees progress live.
+func (p *ProgressWriter) Emit(ev *ProgressEvent) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	now := p.now()
+	ev.TMs = now.Sub(p.start).Milliseconds()
+	if ev.Event == "run_done" {
+		p.observeCompletion(now)
+		if p.ewmaDt > 0 {
+			ev.RatePerS = 1 / p.ewmaDt
+			if remaining := ev.Total - ev.Completed; remaining > 0 {
+				ev.EtaS = float64(remaining) * p.ewmaDt
+			}
+		}
+	}
+	if ev.Event == "batch_done" {
+		ev.ElapsedS = now.Sub(p.start).Seconds()
+	}
+	b, err := json.Marshal(ev)
+	if err != nil {
+		return
+	}
+	p.w.Write(b)
+	p.w.WriteByte('\n')
+	p.w.Flush()
+}
+
+// observeCompletion folds one completion instant into the EWMA gap. The
+// first completion seeds the estimate with the time since stream start.
+func (p *ProgressWriter) observeCompletion(now time.Time) {
+	prev := p.lastDone
+	if prev.IsZero() {
+		prev = p.start
+	}
+	dt := now.Sub(prev).Seconds()
+	if dt < 0 {
+		dt = 0
+	}
+	if p.ewmaDt == 0 {
+		p.ewmaDt = dt
+	} else {
+		p.ewmaDt = p.alpha*dt + (1-p.alpha)*p.ewmaDt
+	}
+	p.lastDone = now
+}
+
+// Close flushes buffered lines and closes the underlying writer if it is
+// closable. Nil-safe.
+func (p *ProgressWriter) Close() error {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	err := p.w.Flush()
+	if p.c != nil {
+		if cerr := p.c.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}

@@ -1,0 +1,121 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+// fakeClock advances only when told to, making progress streams (and their
+// EWMA-derived fields) fully deterministic.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time             { return c.t }
+func (c *fakeClock) advance(d time.Duration)    { c.t = c.t.Add(d) }
+func newFakeClock() *fakeClock                  { return &fakeClock{t: time.Unix(1_700_000_000, 0)} }
+func withClock(p *ProgressWriter, c *fakeClock) { p.now = c.now; p.start = c.t }
+
+// TestProgressGoldenSchema locks the JSONL wire format: exact lines for a
+// small batch under a deterministic clock. A consumer (CI dashboards, the
+// docs' examples) can rely on these field names and omission rules.
+func TestProgressGoldenSchema(t *testing.T) {
+	var buf bytes.Buffer
+	pw := NewProgressWriter(&buf)
+	clk := newFakeClock()
+	withClock(pw, clk)
+
+	ok := true
+	pw.Emit(&ProgressEvent{Event: "batch_start", Total: 3, Workers: 2})
+	clk.advance(time.Second)
+	pw.Emit(&ProgressEvent{Event: "run_done", ID: "fig3", Bench: "gzip", OK: &ok, RunMs: 500, Completed: 1, Total: 3})
+	clk.advance(time.Second)
+	pw.Emit(&ProgressEvent{Event: "run_done", ID: "fig3", Bench: "swim", OK: &ok, RunMs: 450, Completed: 2, Total: 3})
+	clk.advance(time.Second)
+	pw.Emit(&ProgressEvent{Event: "run_done", ID: "fig3", Bench: "vpr", OK: &ok, RunMs: 475, Completed: 3, Total: 3})
+	pw.Emit(&ProgressEvent{Event: "batch_done", Completed: 3, Total: 3, Runs: 3})
+	if err := pw.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	want := []string{
+		`{"event":"batch_start","t_ms":0,"total":3,"workers":2}`,
+		`{"event":"run_done","t_ms":1000,"id":"fig3","bench":"gzip","ok":true,"run_ms":500,"completed":1,"total":3,"rate_per_s":1,"eta_s":2}`,
+		`{"event":"run_done","t_ms":2000,"id":"fig3","bench":"swim","ok":true,"run_ms":450,"completed":2,"total":3,"rate_per_s":1,"eta_s":1}`,
+		`{"event":"run_done","t_ms":3000,"id":"fig3","bench":"vpr","ok":true,"run_ms":475,"completed":3,"total":3,"rate_per_s":1}`,
+		`{"event":"batch_done","t_ms":3000,"completed":3,"total":3,"runs":3,"elapsed_s":3}`,
+	}
+	got := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(got) != len(want) {
+		t.Fatalf("got %d lines, want %d:\n%s", len(got), len(want), buf.String())
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("line %d:\n got %s\nwant %s", i+1, got[i], want[i])
+		}
+	}
+
+	// Every line must be standalone-parseable JSON (the stream contract).
+	for i, line := range got {
+		var ev ProgressEvent
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Errorf("line %d does not parse: %v", i+1, err)
+		}
+	}
+}
+
+// TestProgressETAMonotonic: at a steady completion rate the projected ETA
+// must shrink as the batch drains — an ETA that grows under constant
+// progress would mean the EWMA is wired backwards.
+func TestProgressETAMonotonic(t *testing.T) {
+	var buf bytes.Buffer
+	pw := NewProgressWriter(&buf)
+	clk := newFakeClock()
+	withClock(pw, clk)
+
+	const total = 20
+	pw.Emit(&ProgressEvent{Event: "batch_start", Total: total, Workers: 4})
+	prev := -1.0
+	for i := 1; i <= total; i++ {
+		clk.advance(750 * time.Millisecond)
+		pw.Emit(&ProgressEvent{Event: "run_done", Completed: int64(i), Total: total})
+	}
+	if err := pw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	etas := 0
+	for _, line := range lines[1:] {
+		var ev ProgressEvent
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatal(err)
+		}
+		if ev.Completed == total {
+			if ev.EtaS != 0 {
+				t.Errorf("final event still projects eta_s=%v", ev.EtaS)
+			}
+			continue
+		}
+		if ev.EtaS <= 0 {
+			t.Fatalf("event %d has no ETA: %s", ev.Completed, line)
+		}
+		if prev >= 0 && ev.EtaS > prev {
+			t.Errorf("ETA grew under constant rate: %v -> %v at completed=%d", prev, ev.EtaS, ev.Completed)
+		}
+		prev = ev.EtaS
+		etas++
+	}
+	if etas != total-1 {
+		t.Fatalf("saw %d ETA projections, want %d", etas, total-1)
+	}
+}
+
+// TestProgressNilSafe: a nil writer is the disabled state everywhere.
+func TestProgressNilSafe(t *testing.T) {
+	var pw *ProgressWriter
+	pw.Emit(&ProgressEvent{Event: "run_done"})
+	if err := pw.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

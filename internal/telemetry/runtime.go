@@ -1,0 +1,146 @@
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"runtime/metrics"
+	"runtime/pprof"
+	"time"
+
+	"clustersim/internal/obs"
+)
+
+// runtimeSamples maps the runtime/metrics names worth watching during a
+// sweep to the obs gauge names they export under. Histogram-valued metrics
+// (GC pauses, scheduler latencies) export their mean and max.
+var runtimeSamples = map[string]string{
+	"/memory/classes/heap/objects:bytes": "runtime.heap_objects_bytes",
+	"/memory/classes/total:bytes":        "runtime.total_bytes",
+	"/sched/goroutines:goroutines":       "runtime.goroutines",
+	"/gc/cycles/total:gc-cycles":         "runtime.gc_cycles",
+	"/gc/pauses:seconds":                 "runtime.gc_pause_s",
+	"/sched/latencies:seconds":           "runtime.sched_latency_s",
+}
+
+// SampleRuntime reads the Go runtime's own health metrics (heap, GC
+// pauses, goroutines, scheduler latency) into gauges on reg, so a served
+// /metrics snapshot shows the simulator process alongside the simulated
+// processor. Histogram metrics export "<name>.mean" and "<name>.max".
+func SampleRuntime(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	descs := make([]metrics.Sample, 0, len(runtimeSamples))
+	for name := range runtimeSamples {
+		descs = append(descs, metrics.Sample{Name: name})
+	}
+	metrics.Read(descs)
+	for _, s := range descs {
+		gname := runtimeSamples[s.Name]
+		switch s.Value.Kind() {
+		case metrics.KindUint64:
+			reg.Gauge(gname).Set(float64(s.Value.Uint64()))
+		case metrics.KindFloat64:
+			reg.Gauge(gname).Set(s.Value.Float64())
+		case metrics.KindFloat64Histogram:
+			mean, max := histSummary(s.Value.Float64Histogram())
+			reg.Gauge(gname + ".mean").Set(mean)
+			reg.Gauge(gname + ".max").Set(max)
+		}
+	}
+}
+
+// histSummary reduces a runtime histogram to its mean and the upper bound
+// of the highest nonempty bucket. The outermost buckets may be unbounded;
+// their finite edge stands in.
+func histSummary(h *metrics.Float64Histogram) (mean, max float64) {
+	if h == nil {
+		return 0, 0
+	}
+	var count uint64
+	var sum float64
+	for i, n := range h.Counts {
+		if n == 0 {
+			continue
+		}
+		lo, hi := h.Buckets[i], h.Buckets[i+1]
+		if math.IsInf(lo, -1) {
+			lo = hi
+		}
+		if math.IsInf(hi, 1) {
+			hi = lo
+		}
+		sum += (lo + hi) / 2 * float64(n)
+		count += n
+		max = hi
+	}
+	if count > 0 {
+		mean = sum / float64(count)
+	}
+	return mean, max
+}
+
+// StartRuntimeSampler samples the runtime into reg every interval until the
+// returned stop function is called. Interval <= 0 selects one second.
+func StartRuntimeSampler(reg *obs.Registry, interval time.Duration) (stop func()) {
+	if reg == nil {
+		return func() {}
+	}
+	if interval <= 0 {
+		interval = time.Second
+	}
+	SampleRuntime(reg)
+	done := make(chan struct{})
+	go func() {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				SampleRuntime(reg)
+			case <-done:
+				return
+			}
+		}
+	}()
+	return func() { close(done) }
+}
+
+// StartProfiles begins whole-process self-profiling into dir: a CPU profile
+// streams to <dir>/cpu.pprof immediately, and the returned stop function
+// finishes it and writes <dir>/heap.pprof (after a final sample). The
+// profiles cover everything between the two calls — for cmd/experiments,
+// the entire sweep.
+func StartProfiles(dir string) (stop func() error, err error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("telemetry: profile dir: %w", err)
+	}
+	cpu, err := os.Create(filepath.Join(dir, "cpu.pprof"))
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: cpu profile: %w", err)
+	}
+	if err := pprof.StartCPUProfile(cpu); err != nil {
+		cpu.Close()
+		return nil, fmt.Errorf("telemetry: cpu profile: %w", err)
+	}
+	return func() error {
+		pprof.StopCPUProfile()
+		err := cpu.Close()
+		heap, herr := os.Create(filepath.Join(dir, "heap.pprof"))
+		if herr != nil {
+			if err == nil {
+				err = herr
+			}
+			return err
+		}
+		if werr := pprof.Lookup("heap").WriteTo(heap, 0); werr != nil && err == nil {
+			err = werr
+		}
+		if cerr := heap.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+		return err
+	}, nil
+}

@@ -1,0 +1,79 @@
+package telemetry
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"clustersim/internal/obs"
+)
+
+func TestSampleRuntime(t *testing.T) {
+	reg := obs.NewRegistry()
+	SampleRuntime(reg)
+	gauges := reg.Snapshot().Gauges
+	if gauges["runtime.goroutines"] < 1 {
+		t.Errorf("runtime.goroutines = %v, want >= 1", gauges["runtime.goroutines"])
+	}
+	if gauges["runtime.total_bytes"] <= 0 {
+		t.Errorf("runtime.total_bytes = %v, want > 0", gauges["runtime.total_bytes"])
+	}
+	if _, ok := gauges["runtime.gc_cycles"]; !ok {
+		t.Error("runtime.gc_cycles missing")
+	}
+	// Nil registry is a no-op.
+	SampleRuntime(nil)
+}
+
+func TestStartRuntimeSampler(t *testing.T) {
+	reg := obs.NewRegistry()
+	stop := StartRuntimeSampler(reg, time.Millisecond)
+	defer stop()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if reg.Snapshot().Gauges["runtime.goroutines"] >= 1 {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("sampler never populated runtime gauges")
+}
+
+func TestStartRuntimeSamplerNilRegistry(t *testing.T) {
+	stop := StartRuntimeSampler(nil, time.Millisecond)
+	stop() // must not panic
+}
+
+func TestStartProfiles(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "profiles")
+	stop, err := StartProfiles(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Burn a little CPU so the profile has something to record.
+	x := 0
+	for i := 0; i < 1_000_000; i++ {
+		x += i * i
+	}
+	_ = x
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"cpu.pprof", "heap.pprof"} {
+		fi, err := os.Stat(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if fi.Size() == 0 {
+			t.Errorf("%s is empty", name)
+		}
+	}
+}
+
+func TestHistSummary(t *testing.T) {
+	mean, max := histSummary(nil)
+	if mean != 0 || max != 0 {
+		t.Error("nil histogram should summarize to zeros")
+	}
+}
