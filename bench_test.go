@@ -240,26 +240,35 @@ func BenchmarkAblations(b *testing.B) {
 }
 
 // BenchmarkSimulatorThroughput measures raw simulation speed (not a paper
-// artifact; a regression guard for the engine itself).
+// artifact; a regression guard for the engine itself) on every bundled
+// benchmark. The plain sub-benchmarks run the default event-driven stepper;
+// the /legacy variants run the seed per-cycle scan stepper, so one run
+// yields the before/after comparison recorded in BENCH_fastloop.json.
 func BenchmarkSimulatorThroughput(b *testing.B) {
-	for _, bench := range []string{"swim", "gzip", "vpr"} {
-		b.Run(bench, func(b *testing.B) {
-			gen, err := clustersim.NewWorkload(bench, 1)
-			if err != nil {
+	throughput := func(b *testing.B, bench string, legacy bool) {
+		gen, err := clustersim.NewWorkload(bench, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cfg := clustersim.DefaultConfig()
+		cfg.LegacyStepper = legacy
+		p, err := clustersim.NewProcessor(cfg, gen, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := p.Run(10_000); err != nil {
 				b.Fatal(err)
 			}
-			p, err := clustersim.NewProcessor(clustersim.DefaultConfig(), gen, nil)
-			if err != nil {
-				b.Fatal(err)
-			}
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				if _, err := p.Run(10_000); err != nil {
-					b.Fatal(err)
-				}
-			}
-			b.ReportMetric(float64(b.N)*10_000/b.Elapsed().Seconds()/1e6, "Minstr/s")
-		})
+		}
+		b.ReportMetric(float64(b.N)*10_000/b.Elapsed().Seconds()/1e6, "Minstr/s")
+	}
+	for _, bench := range clustersim.Benchmarks() {
+		b.Run(bench, func(b *testing.B) { throughput(b, bench, false) })
+	}
+	for _, bench := range clustersim.Benchmarks() {
+		b.Run(bench+"/legacy", func(b *testing.B) { throughput(b, bench, true) })
 	}
 }
 

@@ -9,6 +9,7 @@
 //	clustersim -bench gzip -trace gzip.trace -trace-format chrome
 //	clustersim -bench parser -n 100000000 -serve :8080 -pprof
 //	clustersim -bench gzip -phases   # wall-clock phase attribution table
+//	clustersim -bench gzip -legacy-stepper   # seed per-cycle scan stepper
 //	clustersim -bench gzip -check    # validate cycle-level invariants
 package main
 
@@ -40,6 +41,7 @@ func main() {
 	phases := flag.Bool("phases", false, "attribute simulator wall time to pipeline phases and print the table")
 	phaseSample := flag.Uint64("phase-sample", 0, "phase-attribution sampling period in cycles (0 = default, 1 in 64)")
 	checkInv := flag.Bool("check", false, "validate cycle-level invariants during the run (exit 1 on violation)")
+	legacyStepper := flag.Bool("legacy-stepper", false, "use the per-cycle scan stepper instead of the event-driven one (differential oracle / perf baseline)")
 	flag.Parse()
 
 	if *list {
@@ -48,6 +50,7 @@ func main() {
 	}
 
 	cfg := clustersim.DefaultConfig()
+	cfg.LegacyStepper = *legacyStepper
 	switch *cache {
 	case "central":
 	case "dist":

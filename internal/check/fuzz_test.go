@@ -82,23 +82,30 @@ func FuzzInvariants(f *testing.F) {
 
 // FuzzRunDeterminism re-runs every fuzz-chosen (benchmark, seed, config)
 // cell and requires byte-identical Results — the determinism oracle over the
-// fuzzed configuration space.
+// fuzzed configuration space — and then runs the same cell under the legacy
+// per-cycle scan stepper, which must agree exactly (the fast-vs-legacy
+// differential over the same space).
 func FuzzRunDeterminism(f *testing.F) {
 	f.Add(uint8(1), uint64(7), uint8(3), uint8(11), uint8(22), uint8(7), uint16(416), false)
 	f.Add(uint8(5), uint64(123), uint8(4), uint8(5), uint8(9), uint8(14), uint16(100), true)
 	f.Fuzz(func(t *testing.T, bench uint8, seed uint64, clusters, iq, regs, lsq uint8, rob uint16, distCache bool) {
 		cfg := fuzzConfig(clusters, iq, regs, lsq, rob, distCache, false)
 		name := fuzzBench(bench)
-		run := func() pipeline.Result {
-			p, err := pipeline.New(cfg, workload.MustNew(name, seed), nil)
+		run := func(c pipeline.Config) pipeline.Result {
+			p, err := pipeline.New(c, workload.MustNew(name, seed), nil)
 			if err != nil {
 				t.Skip(err)
 			}
 			return runNoPanic(t, p, 2_000)
 		}
-		a, b := run(), run()
+		a, b := run(cfg), run(cfg)
 		if a != b {
 			t.Fatalf("%s seed %d not deterministic:\n  A: %+v\n  B: %+v", name, seed, a, b)
+		}
+		legacy := cfg
+		legacy.LegacyStepper = true
+		if c := run(legacy); a != c {
+			t.Fatalf("%s seed %d: steppers diverge:\n  event:  %+v\n  legacy: %+v", name, seed, a, c)
 		}
 	})
 }

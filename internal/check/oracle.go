@@ -199,6 +199,48 @@ func ResumeEquivalence(bench string, seed, window, at uint64, cfg pipeline.Confi
 	return nil
 }
 
+// StepperEquivalence is the fast-vs-legacy differential: the event-driven
+// stepper (wheel wakeups, wait chains, stall fast-forward) and the seed
+// per-cycle scan stepper must produce byte-identical Results on the same
+// (benchmark, seed, window, config, controller) cell. This drives the
+// pipeline directly rather than through the runner: Config.LegacyStepper is
+// deliberately excluded from the configuration fingerprint (the steppers are
+// timing-equivalent, so snapshots and cache entries are shared), which means
+// the runner's result cache cannot tell the two modes apart and a cached
+// comparison would be vacuous. mkCtrl builds a fresh controller per machine
+// (nil for static).
+func StepperEquivalence(bench string, seed, window uint64, cfg pipeline.Config, mkCtrl func() pipeline.Controller) error {
+	run := func(legacy bool) (pipeline.Result, error) {
+		c := cfg
+		c.LegacyStepper = legacy
+		gen, err := workload.New(bench, seed)
+		if err != nil {
+			return pipeline.Result{}, err
+		}
+		var ctrl pipeline.Controller
+		if mkCtrl != nil {
+			ctrl = mkCtrl()
+		}
+		p, err := pipeline.New(c, gen, ctrl)
+		if err != nil {
+			return pipeline.Result{}, err
+		}
+		return p.Run(window)
+	}
+	fast, err := run(false)
+	if err != nil {
+		return fmt.Errorf("check: %s event stepper: %w", bench, err)
+	}
+	legacy, err := run(true)
+	if err != nil {
+		return fmt.Errorf("check: %s legacy stepper: %w", bench, err)
+	}
+	if fast != legacy {
+		return fmt.Errorf("check: %s steppers diverge:\n  event:  %+v\n  legacy: %+v", bench, fast, legacy)
+	}
+	return nil
+}
+
 // ChunkInvariance verifies that simulating a window in one Run call and in
 // several smaller Run calls yields identical cumulative Results: Run only
 // advances the machine, so how the caller slices the window cannot matter.

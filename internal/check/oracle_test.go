@@ -135,6 +135,140 @@ func TestResumeEquivalenceMatrix(t *testing.T) {
 	}
 }
 
+// TestStepperEquivalenceMatrix: the event-driven stepper and the seed
+// per-cycle scan stepper are byte-identical on every benchmark under every
+// controller family — the central differential guarantee behind the fast
+// cycle loop (wheel wakeups, wait chains, stall fast-forward).
+func TestStepperEquivalenceMatrix(t *testing.T) {
+	window := matrixWindow(t)
+	policies := []struct {
+		name string
+		mk   func() pipeline.Controller
+	}{
+		{"static", nil},
+		{"explore", func() pipeline.Controller { return core.NewExplore(core.ExploreConfig{}) }},
+		{"distant-ilp", func() pipeline.Controller { return core.NewDistantILP(core.DistantILPConfig{}) }},
+		{"finegrain", func() pipeline.Controller { return core.NewFineGrain(core.FineGrainConfig{}) }},
+	}
+	for _, bench := range oracleBenches(t) {
+		for _, pol := range policies {
+			bench, pol := bench, pol
+			t.Run(bench+"/"+pol.name, func(t *testing.T) {
+				t.Parallel()
+				cfg := pipeline.DefaultConfig()
+				if err := StepperEquivalence(bench, 1, window, cfg, pol.mk); err != nil {
+					t.Error(err)
+				}
+			})
+		}
+	}
+}
+
+// stepperEquivCustom is StepperEquivalence over a custom workload spec: both
+// steppers run the identical generated stream and must agree byte-for-byte.
+func stepperEquivCustom(t *testing.T, name string, phases []workload.Phase, window uint64, cfg pipeline.Config, mkCtrl func() pipeline.Controller) {
+	t.Helper()
+	run := func(legacy bool) pipeline.Result {
+		c := cfg
+		c.LegacyStepper = legacy
+		gen, err := workload.Custom(name, phases, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var ctrl pipeline.Controller
+		if mkCtrl != nil {
+			ctrl = mkCtrl()
+		}
+		p, err := pipeline.New(c, gen, ctrl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := p.Run(window)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	fast, legacy := run(false), run(true)
+	if fast != legacy {
+		t.Errorf("%s: steppers diverge:\n  event:  %+v\n  legacy: %+v", name, fast, legacy)
+	}
+}
+
+// TestStepperEquivalenceStallHeavy: a serial pointer-chase over a footprint
+// far beyond the L1 and TLB reach keeps the machine stalled on memory for
+// most of its cycles — the regime where stall fast-forward jumps hardest and
+// any off-by-one in the next-event computation would shift a wakeup.
+func TestStepperEquivalenceStallHeavy(t *testing.T) {
+	k := workload.Kernel{
+		Chains:     1,
+		LoadFrac:   0.45,
+		StoreFrac:  0.05,
+		BranchFrac: 0.05,
+		LoopBody:   16,
+		LoopIters:  4,
+		Footprint:  1 << 26,
+		RandomAddr: true,
+		Chase:      true,
+	}
+	stepperEquivCustom(t, "stall-heavy",
+		[]workload.Phase{{Length: 200_000, Kernel: k}}, 30_000,
+		pipeline.DefaultConfig(), nil)
+}
+
+// thrashCtrl requests an active-cluster flip between the extremes every few
+// hundred commits, keeping the machine perpetually draining or ramping — the
+// reconfiguration paths (recountLSQFull, drain progress, parked-state
+// migration) under maximum churn.
+type thrashCtrl struct{ total, n int }
+
+func (c *thrashCtrl) Name() string      { return "thrash" }
+func (c *thrashCtrl) Reset(total int)   { c.total, c.n = total, 0 }
+func (c *thrashCtrl) OnCommit(ev pipeline.CommitEvent) int {
+	c.n++
+	if c.n%256 != 0 {
+		return 0
+	}
+	if (c.n/256)%2 == 0 {
+		return c.total
+	}
+	return 2
+}
+
+// TestStepperEquivalenceReconfigThrash: both steppers agree under a
+// controller that thrashes the active-cluster count, on both cache models.
+func TestStepperEquivalenceReconfigThrash(t *testing.T) {
+	k := workload.Kernel{
+		Chains:     8,
+		LoadFrac:   0.25,
+		StoreFrac:  0.15,
+		BranchFrac: 0.10,
+		CrossFrac:  0.40,
+		LoopBody:   32,
+		LoopIters:  8,
+		Footprint:  1 << 20,
+	}
+	phases := []workload.Phase{{Length: 200_000, Kernel: k}}
+	for _, tc := range []struct {
+		name string
+		cfg  pipeline.Config
+	}{
+		{"centralized", pipeline.DefaultConfig()},
+		{"decentralized", func() pipeline.Config {
+			c := pipeline.DefaultConfig()
+			c.Cache = pipeline.DecentralizedCache
+			return c
+		}()},
+	} {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			stepperEquivCustom(t, "reconfig-thrash", phases, 30_000, tc.cfg,
+				func() pipeline.Controller { return &thrashCtrl{} })
+		})
+	}
+}
+
 func TestResumeEquivalenceRejectsBadCheckpointPoint(t *testing.T) {
 	if err := ResumeEquivalence("gzip", 1, 1_000, 1_000, pipeline.DefaultConfig(), nil); err == nil {
 		t.Fatal("expected an error for a checkpoint at/after the window")

@@ -98,8 +98,8 @@ func (p *Processor) checkCycle() {
 	v.LSQCentral = p.lsqTotal
 	for i := range p.clusters {
 		cs := &p.clusters[i]
-		v.IQInt[i] = len(cs.iqInt)
-		v.IQFP[i] = len(cs.iqFP)
+		v.IQInt[i] = cs.nInt
+		v.IQFP[i] = cs.nFP
 		v.IntRegs[i] = cs.intRegs
 		v.FPRegs[i] = cs.fpRegs
 		v.LSQ[i] = cs.lsq

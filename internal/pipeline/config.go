@@ -153,6 +153,15 @@ type Config struct {
 	BranchPred *bpred.Config
 	BankPred   *bpred.BankConfig
 
+	// LegacyStepper selects the seed per-cycle scan stepper (full IQ scan
+	// every cycle, no stall fast-forward) instead of the event-driven
+	// scheduler. The two steppers are timing-equivalent — byte-identical
+	// Results on every workload (enforced by the StepperEquivalence oracle
+	// and the fuzz differential) — so the knob exists purely as the
+	// differential oracle and a perf baseline. The zero value selects the
+	// event-driven stepper.
+	LegacyStepper bool
+
 	// WatchdogCycles is how many cycles may elapse without a commit before
 	// Run/RunCycles give up and return a *DeadlockError. Zero selects the
 	// default (500_000). Raising it is only useful for configurations with
@@ -284,6 +293,9 @@ func (c Config) Fingerprint() uint64 {
 	cc.Observer = nil
 	cc.Checker = nil
 	cc.Phases = nil
+	// The stepper choice does not influence timing (the two are proven
+	// byte-identical), so snapshots and cache keys are shared across modes.
+	cc.LegacyStepper = false
 	fmt.Fprintf(h, "%+v", cc)
 	if c.CacheConfig != nil {
 		fmt.Fprintf(h, "|cache:%+v", *c.CacheConfig)

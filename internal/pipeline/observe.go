@@ -112,11 +112,7 @@ func (p *Processor) observeSample() {
 	o := p.obs
 	period := o.SamplePeriod
 	from := p.cycle - period
-	occ := 0
-	for i := range p.clusters {
-		occ += p.clusters[i].occupancy()
-	}
-	iqOcc := float64(occ)
+	iqOcc := float64(p.iqOcc)
 	linkUtil := p.net.Utilization(from, p.cycle)
 	bankQ := p.memsys.BankBacklog(from, p.cycle)
 	ipc := 0.0

@@ -36,10 +36,23 @@ type Processor struct {
 	fq     []fqEntry
 	fqHead int
 	fqLen  int
+	fqCap  int // logical capacity (cfg.FetchQueue); len(fq) is the pow-2 ring size
+	fqMask int // len(fq)-1; fq is sized to a power of two
 
 	clusters []clusterState
 	active   int
 	lsqTotal int // centralized LSQ occupancy
+	lsqFull  int // active clusters at LSQ capacity (decentralized dummy gate)
+	iqOcc    int // total issue-queue occupancy across all clusters
+
+	// sched is the event stepper's wheel/chain state (see sched.go);
+	// rebuilt from the ROB on checkpoint load, never serialized.
+	sched scheduler
+
+	// progress records whether any stage did work this cycle; when false,
+	// the run loop may fast-forward over provably idle cycles.
+	//simlint:nostate per-cycle scratch, reset at the top of every step
+	progress bool
 
 	// Decentralized reconfiguration state.
 	draining      bool
@@ -162,7 +175,26 @@ func New(cfg Config, gen workload.Generator, ctrl Controller) (*Processor, error
 	}
 	p.rob = make([]uop, robLen)
 	p.robMask = uint64(robLen - 1)
-	p.fq = make([]fqEntry, cfg.FetchQueue)
+	// The fetch queue is a power-of-two ring for the same reason; its
+	// logical capacity stays cfg.FetchQueue.
+	fqLen := 1
+	for fqLen < cfg.FetchQueue {
+		fqLen <<= 1
+	}
+	p.fq = make([]fqEntry, fqLen)
+	p.fqCap = cfg.FetchQueue
+	p.fqMask = fqLen - 1
+	if !cfg.LegacyStepper {
+		p.sched.wheel = make([][]uint64, wheelSpan)
+		p.sched.dirty = make([]bool, wheelSpan)
+		arena := make([]uint64, wheelSpan*bucketPresize)
+		for i := range p.sched.wheel {
+			// Capacity-limited subslices: a bucket overflowing its
+			// pre-size reallocates privately instead of bleeding into
+			// its neighbor's arena segment.
+			p.sched.wheel[i], arena = arena[:0:bucketPresize], arena[bucketPresize:]
+		}
+	}
 	// Scratch slices sized for their steady-state maxima so the hot loops
 	// never grow them: in-flight stores are bounded by the ROB plus the
 	// popStore compaction threshold, pending loads by the ROB, and dummy
@@ -265,12 +297,14 @@ func (p *Processor) deadlockError() *DeadlockError {
 func (p *Processor) Run(n uint64) (Result, error) {
 	target := p.committed + n
 	limit := p.watchdogLimit()
+	ff := p.canFastForward()
 	for p.committed < target {
 		p.step()
+		jumped := ff && !p.progress && p.fastForward(0, limit)
 		if p.cycle-p.lastCommitCycle > limit {
 			return p.Stats(), p.deadlockError()
 		}
-		if p.stop != nil && p.cycle&stopCheckMask == 0 && p.stop.Load() {
+		if p.stop != nil && (jumped || p.cycle&stopCheckMask == 0) && p.stop.Load() {
 			return p.Stats(), &StoppedError{Cycle: p.cycle, Committed: p.committed}
 		}
 	}
@@ -284,16 +318,25 @@ func (p *Processor) Run(n uint64) (Result, error) {
 func (p *Processor) RunCycles(n uint64) (Result, error) {
 	target := p.cycle + n
 	limit := p.watchdogLimit()
+	ff := p.canFastForward()
 	for p.cycle < target {
 		p.step()
+		jumped := ff && !p.progress && p.fastForward(target, limit)
 		if p.cycle-p.lastCommitCycle > limit {
 			return p.Stats(), p.deadlockError()
 		}
-		if p.stop != nil && p.cycle&stopCheckMask == 0 && p.stop.Load() {
+		if p.stop != nil && (jumped || p.cycle&stopCheckMask == 0) && p.stop.Load() {
 			return p.Stats(), &StoppedError{Cycle: p.cycle, Committed: p.committed}
 		}
 	}
 	return p.Stats(), nil
+}
+
+// canFastForward reports whether the run loops may jump over idle cycles:
+// only the event stepper tracks the wakeup calendar the jump needs, and an
+// attached checker must observe every cycle.
+func (p *Processor) canFastForward() bool {
+	return !p.cfg.LegacyStepper && p.chk == nil
 }
 
 // step advances the machine by one cycle.
@@ -303,6 +346,7 @@ func (p *Processor) step() {
 		return
 	}
 	p.cycle++
+	p.progress = false
 	p.commitStage()
 	p.reconfigStage()
 	p.issueStage()
@@ -325,6 +369,7 @@ func (p *Processor) step() {
 func (p *Processor) stepTimed() {
 	cur := p.ptimer.Begin()
 	p.cycle++
+	p.progress = false
 	p.commitStage()
 	cur = p.ptimer.Lap(telemetry.PhaseCommit, cur)
 	p.reconfigStage()
@@ -419,7 +464,7 @@ func (p *Processor) commitStage() {
 			if p.cfg.Cache == CentralizedCache {
 				p.lsqTotal--
 			} else {
-				cs.lsq--
+				p.lsqDelta(int(u.cluster), -1)
 			}
 			if u.isStore() {
 				at := now
@@ -454,6 +499,7 @@ func (p *Processor) commitStage() {
 		p.headSeq++
 		p.committed++
 		p.lastCommitCycle = now
+		p.progress = true
 		if p.ctrl != nil {
 			if want := p.ctrl.OnCommit(ev); want > 0 {
 				p.requestActive(want)
@@ -491,6 +537,8 @@ func (p *Processor) requestActive(want int) {
 		if want != p.active {
 			old := p.active
 			p.active = want
+			p.recountLSQFull()
+			p.progress = true
 			p.stats.Reconfigs++
 			if p.obs != nil {
 				p.observeReconfig(old, want, 0, 0)
@@ -517,8 +565,10 @@ func (p *Processor) reconfigStage() {
 	old := p.active
 	p.memsys.SetActive(p.pendingActive)
 	p.active = p.pendingActive
+	p.recountLSQFull()
 	p.resumeAt = done
 	p.draining = false
+	p.progress = true
 	p.stats.Reconfigs++
 	if p.obs != nil {
 		p.observeReconfig(old, p.active, writebacks, done-p.cycle)
@@ -567,6 +617,10 @@ func (p *Processor) opArrival(u *uop, dist uint32, cache *uint64) uint64 {
 }
 
 func (p *Processor) issueStage() {
+	if !p.cfg.LegacyStepper {
+		p.issueStageEvent()
+		return
+	}
 	now := p.cycle
 	for ci := range p.clusters {
 		cs := &p.clusters[ci]
@@ -582,35 +636,63 @@ func (p *Processor) issueQueue(cs *clusterState, q *[]uint64, now uint64) {
 	out := s[:0]
 	for _, seq := range s {
 		u := p.at(seq)
-		if !p.tryIssue(cs, u, now) {
+		if v, _, _ := p.tryIssueV(cs, u, now); v != vIssued {
 			out = append(out, seq)
 		}
 	}
 	*q = out
 }
 
-func (p *Processor) tryIssue(cs *clusterState, u *uop, now uint64) bool {
+// issueVerdict is tryIssueV's outcome: issued, re-check at a known future
+// cycle, or blocked on an unissued producer (no wake cycle computable).
+type issueVerdict uint8
+
+const (
+	vWake issueVerdict = iota
+	vChain
+	vIssued
+)
+
+// tryIssueV attempts to issue u at cycle now. On vWake, `at` is the sound
+// re-evaluation cycle (strictly future); on vChain, `pseq` is the unissued
+// (or not-yet-done load) producer to wait on. The legacy stepper ignores
+// everything but the vIssued outcome; the event stepper parks or chains on
+// the rest.
+func (p *Processor) tryIssueV(cs *clusterState, u *uop, now uint64) (v issueVerdict, at, pseq uint64) {
 	if u.readyAt > now {
-		return false
+		return vWake, u.readyAt, 0
 	}
 	if u.dispatchReady > now {
 		u.readyAt = u.dispatchReady
-		return false
+		return vWake, u.dispatchReady, 0
 	}
-	if a := p.opArrival(u, u.in.SrcDist1, &u.src1At); a > now {
+	// The cached-arrival hit is checked inline: most evaluations run with
+	// both arrivals already known (precomputed at dispatch or cached by
+	// an earlier probe), and the call is pure overhead then.
+	a := u.src1At
+	if a == unknown {
+		a = p.opArrival(u, u.in.SrcDist1, &u.src1At)
+	}
+	if a > now {
 		if a != unknown {
 			u.readyAt = a
+			return vWake, a, 0
 		}
-		return false
+		return vChain, 0, u.seq - uint64(u.in.SrcDist1)
 	}
 	// Stores issue address generation without waiting for data; all other
 	// two-operand instructions need both.
 	if !u.isStore() {
-		if a := p.opArrival(u, u.in.SrcDist2, &u.src2At); a > now {
+		a = u.src2At
+		if a == unknown {
+			a = p.opArrival(u, u.in.SrcDist2, &u.src2At)
+		}
+		if a > now {
 			if a != unknown {
 				u.readyAt = a
+				return vWake, a, 0
 			}
-			return false
+			return vChain, 0, u.seq - uint64(u.in.SrcDist2)
 		}
 	}
 	cls := u.in.Class
@@ -619,10 +701,17 @@ func (p *Processor) tryIssue(cs *clusterState, u *uop, now uint64) bool {
 	if !cls.Pipelined() {
 		busyUntil = now + lat
 	}
-	if !cs.takeFU(fuFor(cls), now, busyUntil) {
-		return false
+	if ok, next := cs.takeFU(fuFor(cls), now, busyUntil); !ok {
+		return vWake, next, 0
 	}
 
+	if cls.IsFP() {
+		cs.nFP--
+	} else {
+		cs.nInt--
+	}
+	p.iqOcc--
+	p.progress = true
 	u.issued = true
 	u.issueAt = now
 	p.trainCriticality(u)
@@ -651,7 +740,7 @@ func (p *Processor) tryIssue(cs *clusterState, u *uop, now uint64) bool {
 	if u.in.Class.IsMem() {
 		p.trainBank(u)
 	}
-	return true
+	return vIssued, 0, 0
 }
 
 // storeResolved handles a store's address becoming known: under the
@@ -698,7 +787,8 @@ func (p *Processor) memStage() {
 		kept := p.dummyReleases[:0]
 		for _, d := range p.dummyReleases {
 			if d.at <= now {
-				p.clusters[d.cluster].lsq--
+				p.lsqDelta(int(d.cluster), -1)
+				p.progress = true
 			} else {
 				kept = append(kept, d)
 			}
@@ -712,6 +802,12 @@ func (p *Processor) memStage() {
 			u := p.at(seq)
 			if u.agenDoneAt > now || !p.tryStartLoad(u, now) {
 				kept = append(kept, seq)
+			} else {
+				// The load's arrival is now computable: wake chained
+				// consumers for the next cycle, when the legacy scan
+				// would first see memDone (issue precedes mem).
+				p.progress = true
+				p.wakeChain(u, 0, nil, 0)
 			}
 		}
 		p.pendingLoads = kept
@@ -805,13 +901,10 @@ func (p *Processor) dispatchStage() {
 			return
 		}
 		in := &e.in
-		// Decentralized stores need a dummy slot in every active LSQ.
-		if in.Class == isa.Store && p.cfg.Cache == DecentralizedCache {
-			for c := 0; c < p.active; c++ {
-				if p.clusters[c].lsq >= p.cfg.LSQPerCluster {
-					return
-				}
-			}
+		// Decentralized stores need a dummy slot in every active LSQ;
+		// lsqFull counts active clusters at capacity.
+		if in.Class == isa.Store && p.cfg.Cache == DecentralizedCache && p.lsqFull > 0 {
+			return
 		}
 		cl := p.steer(in, e.seq)
 		if cl < 0 {
@@ -819,21 +912,47 @@ func (p *Processor) dispatchStage() {
 		}
 
 		u := p.at(e.seq)
+		// Operand arrivals with no in-flight producer (no dependence, or
+		// one already architected) are 0 now and forever; precomputing
+		// them here lets the issue path skip those opArrival calls. A
+		// producer in flight now may retire before the first evaluation,
+		// which opArrival handles — the converse never happens.
+		src1At, src2At := uint64(unknown), uint64(unknown)
+		if d := uint64(in.SrcDist1); d == 0 || d > e.seq || e.seq-d < p.headSeq {
+			src1At = 0
+		}
+		if d := uint64(in.SrcDist2); d == 0 || d > e.seq || e.seq-d < p.headSeq {
+			src2At = 0
+		}
 		*u = uop{
 			in:               *in,
 			seq:              e.seq,
 			cluster:          int32(cl),
 			mispredicted:     e.mispred,
 			activeAtDispatch: int32(p.active),
-			src1At:           unknown,
-			src2At:           unknown,
+			src1At:           src1At,
+			src2At:           src2At,
 		}
 		hops := uint64(p.net.Hops(0, cl)) * uint64(p.cfg.HopLatency)
 		u.dispatchReady = now + 1 + hops
 
 		cs := &p.clusters[cl]
-		q := cs.iqFor(in.Class)
-		*q = append(*q, e.seq)
+		if p.cfg.LegacyStepper {
+			q := cs.iqFor(in.Class)
+			*q = append(*q, e.seq)
+		} else {
+			// First possibly-productive evaluation is dispatchReady:
+			// the legacy scan's earlier probes only observe the
+			// dispatchReady guard.
+			u.key = p.keyOf(u)
+			p.parkU(u.key, u.dispatchReady)
+		}
+		if in.Class.IsFP() {
+			cs.nFP++
+		} else {
+			cs.nInt++
+		}
+		p.iqOcc++
 		if in.HasDest {
 			if in.Class.IsFP() {
 				cs.fpRegs++
@@ -846,10 +965,10 @@ func (p *Processor) dispatchStage() {
 				p.lsqTotal++
 			} else if in.Class == isa.Store {
 				for c := 0; c < p.active; c++ {
-					p.clusters[c].lsq++
+					p.lsqDelta(c, 1)
 				}
 			} else {
-				cs.lsq++
+				p.lsqDelta(cl, 1)
 			}
 			if in.Class == isa.Store {
 				p.stores = append(p.stores, e.seq)
@@ -860,9 +979,10 @@ func (p *Processor) dispatchStage() {
 		}
 
 		p.tailSeq = e.seq + 1
-		p.fqHead = (p.fqHead + 1) % len(p.fq)
+		p.fqHead = (p.fqHead + 1) & p.fqMask
 		p.fqLen--
 		p.stats.Dispatched++
+		p.progress = true
 	}
 }
 
@@ -881,12 +1001,12 @@ func (p *Processor) fetchStage() {
 		p.fetchResumeAt = 0
 	}
 	blocks := 0
-	for n := 0; n < p.cfg.FetchWidth && p.fqLen < len(p.fq); n++ {
+	for n := 0; n < p.cfg.FetchWidth && p.fqLen < p.fqCap; n++ {
 		// Fill the fetch-queue slot in place: generating into a stack
 		// variable and copying it in would force a heap allocation per
 		// instruction (the generator is an interface, so the compiler
 		// must assume the pointer escapes).
-		slot := (p.fqHead + p.fqLen) % len(p.fq)
+		slot := (p.fqHead + p.fqLen) & p.fqMask
 		e := &p.fq[slot]
 		p.gen.Next(&e.in)
 		in := &e.in
@@ -922,6 +1042,7 @@ func (p *Processor) fetchStage() {
 		e.mispred = mispred
 		p.fqLen++
 		p.stats.Fetched++
+		p.progress = true
 
 		if mispred {
 			p.fetchBlockedSeq = seq

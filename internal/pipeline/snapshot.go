@@ -119,13 +119,22 @@ func (p *Processor) SaveCheckpoint(wr io.Writer) error {
 	w.Mark("fq")
 	w.Int(p.fqLen)
 	for i := 0; i < p.fqLen; i++ {
-		e := &p.fq[(p.fqHead+i)%len(p.fq)]
+		e := &p.fq[(p.fqHead+i)&p.fqMask]
 		saveInstr(w, &e.in)
 		w.U64(e.seq)
 		w.U64(e.earliest)
 		w.Bool(e.mispred)
 	}
 
+	// The event stepper keeps the per-cluster issue-queue lists empty (the
+	// wheel and wait chains replace them); derive them from the ROB for the
+	// save so both steppers write byte-identical snapshots, then clear them
+	// again. Ascending-seq derivation matches the legacy stepper's
+	// compaction order exactly.
+	if !p.cfg.LegacyStepper {
+		p.fillIQLists()
+		defer p.clearIQLists()
+	}
 	w.Mark("clusters")
 	for ci := range p.clusters {
 		cs := &p.clusters[ci]
@@ -268,8 +277,8 @@ func (p *Processor) LoadCheckpoint(rd io.Reader) error {
 
 	r.Mark("fq")
 	fqLen := r.Int()
-	if r.Err() == nil && (fqLen < 0 || fqLen > len(p.fq)) {
-		return fmt.Errorf("pipeline: snapshot fetch queue holds %d entries, capacity %d", fqLen, len(p.fq))
+	if r.Err() == nil && (fqLen < 0 || fqLen > p.fqCap) {
+		return fmt.Errorf("pipeline: snapshot fetch queue holds %d entries, capacity %d", fqLen, p.fqCap)
 	}
 	p.fqHead = 0
 	p.fqLen = fqLen
@@ -362,7 +371,15 @@ func (p *Processor) LoadCheckpoint(rd io.Reader) error {
 		p.ctrl.(snap.Stater).LoadState(r)
 	}
 	r.Mark("end")
-	return r.Err()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	// Reconstruct the derived scheduler state (occupancy counters, LSQ-full
+	// count, and — under the event stepper — the wheel parking of every
+	// dispatched-unissued uop). None of it is serialized: it is a pure
+	// function of the loaded window. See rebuildSched in sched.go.
+	p.rebuildSched()
+	return nil
 }
 
 func saveInstr(w *snap.Writer, in *isa.Instruction) {
@@ -441,6 +458,9 @@ func loadUop(r *snap.Reader, u *uop) {
 	u.src2At = r.U64()
 	u.waitStore = r.U64()
 	u.readyAt = r.U64()
+	// Wait chains and the cached agenda key are rebuilt by rebuildSched,
+	// never serialized.
+	u.wHead, u.wNext, u.key = 0, 0, 0
 	for i := range u.fwd {
 		u.fwd[i] = r.U64()
 	}

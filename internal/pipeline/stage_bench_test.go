@@ -1,0 +1,78 @@
+package pipeline
+
+import (
+	"testing"
+
+	"clustersim/internal/telemetry"
+	"clustersim/internal/workload"
+)
+
+// Per-stage microbenchmarks: stage-level regressions show up directly in
+// `go test -bench`, not only in sampled PhaseTimer attribution data. Each
+// stage benchmark runs the whole machine with a period-1 phase timer (every
+// cycle sampled stage-by-stage) and reports the named stage's wall time per
+// stepped cycle; the event/legacy sub-benchmarks make the hot-loop win — and
+// any future regression — visible per stage.
+
+func benchStageNanos(b *testing.B, phase telemetry.Phase, legacy bool) {
+	pt := telemetry.NewPhaseTimer(1)
+	cfg := DefaultConfig()
+	cfg.Phases = pt
+	cfg.LegacyStepper = legacy
+	p := MustNew(cfg, workload.MustNew("gzip", 1), nil)
+	mustRun(b, p, 20_000) // reach steady state before measuring
+	before := pt.Report()
+	b.ResetTimer()
+	mustRun(b, p, uint64(b.N))
+	b.StopTimer()
+	after := pt.Report()
+	for i := range after.Phases {
+		if after.Phases[i].Phase == phase.String() {
+			nanos := after.Phases[i].Nanos - before.Phases[i].Nanos
+			laps := after.Phases[i].Laps - before.Phases[i].Laps
+			if laps > 0 {
+				b.ReportMetric(float64(nanos)/float64(laps), "ns/cycle")
+			}
+		}
+	}
+}
+
+// BenchmarkIssueStage: the stage the event engine restructured — the legacy
+// variant pays the full per-cycle IQ scan, the event variant only touches
+// woken instructions.
+func BenchmarkIssueStage(b *testing.B) {
+	b.Run("event", func(b *testing.B) { benchStageNanos(b, telemetry.PhaseIssue, false) })
+	b.Run("legacy", func(b *testing.B) { benchStageNanos(b, telemetry.PhaseIssue, true) })
+}
+
+// BenchmarkDispatchStage: steering plus queue insertion (and, under the
+// decentralized model, the former dummy-LSQ scan, now an O(1) counter test).
+func BenchmarkDispatchStage(b *testing.B) {
+	b.Run("event", func(b *testing.B) { benchStageNanos(b, telemetry.PhaseDispatch, false) })
+	b.Run("legacy", func(b *testing.B) { benchStageNanos(b, telemetry.PhaseDispatch, true) })
+}
+
+// BenchmarkStallFastForward: whole-run speed on the serial pointer chase
+// where nearly every cycle stalls on memory — fast-forward's home regime.
+// The op is 1K committed instructions (hundreds of thousands of simulated
+// cycles); Mcycles/s is the rate of simulated time, which is what the jump
+// accelerates.
+func BenchmarkStallFastForward(b *testing.B) {
+	for _, m := range []struct {
+		name   string
+		legacy bool
+	}{{"event", false}, {"legacy", true}} {
+		b.Run(m.name, func(b *testing.B) {
+			cfg := DefaultConfig()
+			cfg.LegacyStepper = m.legacy
+			p := MustNew(cfg, stallGen(b), nil)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := p.Run(1_000); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(p.Cycle())/b.Elapsed().Seconds()/1e6, "Mcycles/s")
+		})
+	}
+}

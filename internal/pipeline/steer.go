@@ -30,7 +30,7 @@ func (p *Processor) steer(in *isa.Instruction, seq uint64) int {
 // choice.
 func (p *Processor) canAccept(c int, in *isa.Instruction) bool {
 	cs := &p.clusters[c]
-	if len(*cs.iqFor(in.Class)) >= p.cfg.IQPerCluster {
+	if cs.iqCount(in.Class) >= p.cfg.IQPerCluster {
 		return false
 	}
 	if in.HasDest {
@@ -125,39 +125,40 @@ func (p *Processor) steerOperandMajority(in *isa.Instruction, seq uint64) int {
 		}
 	}
 
-	// Load-imbalance override: when the spread between the most and
-	// least loaded active clusters exceeds the threshold, ignore
-	// affinity and steer to the least loaded.
+	// One fused pass finds the load-imbalance override candidate (the
+	// least loaded cluster that can accept) and the best-scoring cluster;
+	// ties break toward the lower cluster index in both, matching the
+	// original two-pass scan order.
 	minOcc, maxOcc := 1<<30, -1
 	minIdx := -1
+	best := -1
+	bestScore := -(1 << 60)
 	for c := 0; c < active; c++ {
 		occ := p.clusters[c].occupancy()
 		if occ > maxOcc {
 			maxOcc = occ
 		}
-		if occ < minOcc && p.canAccept(c, in) {
+		if !p.canAccept(c, in) {
+			continue
+		}
+		if occ < minOcc {
 			minOcc = occ
 			minIdx = c
+		}
+		// Ties break toward lower occupancy.
+		score := votes[c]*1024 - occ
+		if score > bestScore {
+			best, bestScore = c, score
 		}
 	}
 	if minIdx < 0 {
 		return -1 // nothing can accept it
 	}
+	// Load-imbalance override: when the spread between the most and
+	// least loaded active clusters exceeds the threshold, ignore
+	// affinity and steer to the least loaded.
 	if maxOcc-minOcc >= p.cfg.ImbalanceThreshold {
 		return minIdx
-	}
-
-	best := -1
-	bestScore := -(1 << 60)
-	for c := 0; c < active; c++ {
-		if !p.canAccept(c, in) {
-			continue
-		}
-		// Ties break toward lower occupancy.
-		score := votes[c]*1024 - p.clusters[c].occupancy()
-		if score > bestScore {
-			best, bestScore = c, score
-		}
 	}
 	return best
 }

@@ -7,9 +7,47 @@ import "clustersim/internal/isa"
 const unknown = ^uint64(0)
 
 // uop is one in-flight dynamic instruction (a ROB entry).
+//
+// Field order is deliberate: the first 64 bytes are exactly the fields an
+// issue-path evaluation touches (the wake paths read key/wHead/wNext, the
+// readiness guards read readyAt/dispatchReady/src1At/src2At), and the
+// second cache line holds what a producer probe needs (doneAt, issued,
+// cluster, the instruction's class and operand distances). The entry is
+// ~300 bytes; keeping an evaluation to the first two lines instead of a
+// walk across the whole entry is a measurable share of issue-phase time.
 type uop struct {
-	in  isa.Instruction
 	seq uint64
+
+	// readyAt is a wakeup hint: the earliest cycle at which re-checking
+	// issue readiness can possibly succeed (the max of the known-future
+	// necessary conditions at the last failed check).
+	readyAt uint64
+	// dispatchReady is the cycle the instruction sits in its cluster's
+	// issue queue (dispatch cycle plus the non-uniform dispatch hops).
+	dispatchReady uint64
+	// src1At and src2At cache operand arrival cycles at this cluster;
+	// unknown until computable. Arrivals decidable at dispatch (no
+	// in-flight producer) are precomputed there.
+	src1At, src2At uint64
+
+	// wHead and wNext are the event stepper's intrusive wait-chain links:
+	// wHead is seq+1 of the newest unissued consumer blocked on this
+	// instruction (0 = none); wNext chains this instruction through its
+	// producer's wait chain (see sched.go). Always zero under the legacy
+	// stepper and in snapshots (links are rebuilt on load).
+	wHead, wNext uint64
+
+	// key is the packed agenda key (cluster, fp-queue bit, seq — see
+	// sched.go), cached at dispatch so the wake paths never recompute
+	// it. Rebuilt alongside the links on checkpoint load; unused under
+	// the legacy stepper.
+	key uint64
+
+	// issueAt and doneAt are the issue cycle and the cycle the result is
+	// available for same-cluster consumers. For memory operations doneAt
+	// is valid only once memDone is set.
+	doneAt  uint64
+	issueAt uint64
 
 	cluster int32
 
@@ -20,14 +58,8 @@ type uop struct {
 	mispredicted bool
 	bankMispred  bool
 
-	// dispatchReady is the cycle the instruction sits in its cluster's
-	// issue queue (dispatch cycle plus the non-uniform dispatch hops).
-	dispatchReady uint64
-	// issueAt and doneAt are the issue cycle and the cycle the result is
-	// available for same-cluster consumers. For memory operations doneAt
-	// is valid only once memDone is set.
-	issueAt uint64
-	doneAt  uint64
+	in isa.Instruction
+
 	// agenDoneAt is the cycle a memory operation's effective address is
 	// known (address generation complete).
 	agenDoneAt uint64
@@ -43,19 +75,10 @@ type uop struct {
 	// instruction dispatched (store dummies span exactly that set).
 	activeAtDispatch int32
 
-	// src1At and src2At cache operand arrival cycles at this cluster;
-	// unknown until computable.
-	src1At, src2At uint64
-
 	// waitStore, when nonzero, is seq+1 of the unresolved older store
 	// that blocked this load's last ordering walk; the walk is skipped
 	// until that store resolves.
 	waitStore uint64
-
-	// readyAt is a wakeup hint: the earliest cycle at which re-checking
-	// issue readiness can possibly succeed (the max of the known-future
-	// necessary conditions at the last failed check).
-	readyAt uint64
 
 	// fwd caches the arrival cycle of this instruction's result at each
 	// consumer cluster (0 = not yet transferred), so one physical
@@ -105,8 +128,11 @@ func fuFor(c isa.Class) fuKind {
 // clusterState holds one cluster's queues, registers and functional units.
 type clusterState struct {
 	// iqInt and iqFP hold seqs of dispatched, unissued instructions in
-	// program order.
+	// program order. The event stepper keeps them empty (the wheel and
+	// wait chains replace the scan) and derives them on checkpoint save;
+	// nInt and nFP count the occupancy in both modes.
 	iqInt, iqFP []uint64
+	nInt, nFP   int
 	// intRegs and fpRegs count physical registers in use.
 	intRegs, fpRegs int
 	// lsq counts occupied LSQ slots (loads steered here, plus store
@@ -121,8 +147,15 @@ func newClusterState(cfg *Config) clusterState {
 	cs.iqInt = make([]uint64, 0, cfg.IQPerCluster)
 	cs.iqFP = make([]uint64, 0, cfg.IQPerCluster)
 	counts := [numFUKinds]int{cfg.IntALU, cfg.IntMulDiv, cfg.FPALU, cfg.FPMulDiv}
+	// One contiguous backing array for all kinds keeps the per-kind
+	// slices on the same cache line in the common small-count configs.
+	total := 0
+	for _, n := range counts {
+		total += n
+	}
+	buf := make([]uint64, total)
 	for k := range cs.fuFree {
-		cs.fuFree[k] = make([]uint64, counts[k])
+		cs.fuFree[k], buf = buf[:counts[k]:counts[k]], buf[counts[k]:]
 	}
 	return cs
 }
@@ -136,21 +169,37 @@ func (cs *clusterState) iqFor(c isa.Class) *[]uint64 {
 }
 
 // occupancy returns the total issue-queue occupancy (the steering
-// heuristic's load metric).
-func (cs *clusterState) occupancy() int { return len(cs.iqInt) + len(cs.iqFP) }
+// heuristic's load metric). Counter-based so it holds under both steppers.
+func (cs *clusterState) occupancy() int { return cs.nInt + cs.nFP }
 
-// takeFU reserves a unit of kind k at cycle now and returns whether one was
-// free. busyUntil is the cycle the unit next accepts work (now+1 for
-// pipelined classes, completion for divides).
-func (cs *clusterState) takeFU(k fuKind, now, busyUntil uint64) bool {
+// iqCount returns the occupancy of the queue serving a class.
+func (cs *clusterState) iqCount(c isa.Class) int {
+	if c.IsFP() {
+		return cs.nFP
+	}
+	return cs.nInt
+}
+
+// takeFU reserves a unit of kind k at cycle now; on success next is
+// meaningless, on failure it is the earliest cycle any unit of the kind
+// accepts work — the sound re-park cycle (unit free times only ever move
+// later, so nothing frees before it). busyUntil is the cycle the taken
+// unit next accepts work (now+1 for pipelined classes, completion for
+// divides). One pass serves both outcomes: the scan that proves no unit is
+// free has already seen every free time.
+func (cs *clusterState) takeFU(k fuKind, now, busyUntil uint64) (ok bool, next uint64) {
 	units := cs.fuFree[k]
+	next = units[0]
 	for i := range units {
 		if units[i] <= now {
 			units[i] = busyUntil
-			return true
+			return true, 0
+		}
+		if units[i] < next {
+			next = units[i]
 		}
 	}
-	return false
+	return false, next
 }
 
 // dummyRelease schedules the dissolution of a store's dummy LSQ slot in a
