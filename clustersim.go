@@ -36,8 +36,10 @@ import (
 	"clustersim/internal/obs"
 	"clustersim/internal/pipeline"
 	"clustersim/internal/smt"
+	"clustersim/internal/spec"
 	"clustersim/internal/stats"
 	"clustersim/internal/telemetry"
+	"clustersim/internal/trace"
 	"clustersim/internal/workload"
 )
 
@@ -65,6 +67,33 @@ type (
 	// WorkloadPhase is one (name, length, kernel) segment of a custom
 	// workload.
 	WorkloadPhase = workload.Phase
+	// WorkloadSpec is a declarative workload document (phase profiles
+	// and sampling distributions, or a multi-programmed mix); see
+	// docs/WORKLOADS.md for the schema.
+	WorkloadSpec = spec.Spec
+	// SpecDist is a sampleable scalar in a workload spec (a constant or
+	// a named distribution, inverse-CDF sampled).
+	SpecDist = spec.Dist
+	// SpecMixThread is one compiled thread of a mix spec.
+	SpecMixThread = spec.MixThread
+	// InstrTrace is a recorded instruction stream with its identity;
+	// replaying it is byte-identical to live generation.
+	InstrTrace = trace.Trace
+	// TraceMeta identifies a trace's source (generator name, source
+	// kind/id, spec fingerprint, seed).
+	TraceMeta = trace.Meta
+	// TraceHeader is a trace file's identity block (metadata, length,
+	// content fingerprint), readable without decoding the payload.
+	TraceHeader = trace.Header
+	// TraceReplayer replays a recorded stream as a Generator.
+	TraceReplayer = trace.Replayer
+	// TraceRecorder tees a live Generator while retaining the stream for
+	// a trace file.
+	TraceRecorder = trace.Recorder
+	// TraceExhaustedError is the typed panic a TraceReplayer raises when a
+	// run fetches past its recording; the sweep runner recovers it into a
+	// per-run failure, direct drivers recover it themselves.
+	TraceExhaustedError = trace.ExhaustedError
 
 	// Checker observes the machine's architectural state at the end of
 	// every simulated cycle (set Config.Checker); a nil Checker costs one
@@ -305,3 +334,59 @@ func Run(benchmark string, seed uint64, cfg Config, ctrl Controller, n uint64) (
 	}
 	return p.Run(n)
 }
+
+// Trace source kinds for TraceMeta.SourceKind.
+const (
+	TraceSourceBench  = trace.SourceBench
+	TraceSourceSpec   = trace.SourceSpec
+	TraceSourceCustom = trace.SourceCustom
+)
+
+// DefaultTraceHeadroom is the recommended margin of extra instructions to
+// record beyond the window a replayed run will commit, covering the
+// deepest fetch-ahead any policy reaches.
+const DefaultTraceHeadroom = trace.DefaultHeadroom
+
+// LoadWorkloadSpec parses and validates the spec file at path.
+func LoadWorkloadSpec(path string) (*WorkloadSpec, error) { return spec.LoadFile(path) }
+
+// ParseWorkloadSpec parses and validates a spec document.
+func ParseWorkloadSpec(data []byte) (*WorkloadSpec, error) { return spec.Parse(data) }
+
+// CompileWorkloadSpec compiles a single-program spec into a Generator;
+// distribution-valued fields are sampled deterministically from seed.
+func CompileWorkloadSpec(s *WorkloadSpec, seed uint64) (Generator, error) {
+	return spec.Compile(s, seed)
+}
+
+// CompileWorkloadMix compiles a mix spec into per-thread generators for
+// NewSMT.
+func CompileWorkloadMix(s *WorkloadSpec, seed uint64) ([]SpecMixThread, error) {
+	return spec.CompileMix(s, seed)
+}
+
+// BuiltinWorkloadPhases returns the phase list behind a built-in benchmark,
+// the raw material for expressing it as a declarative spec.
+func BuiltinWorkloadPhases(name string) ([]WorkloadPhase, bool) {
+	return workload.BuiltinPhases(name)
+}
+
+// RecordTrace drains n instructions from gen into a trace.
+func RecordTrace(gen Generator, n uint64, meta TraceMeta) *InstrTrace {
+	return trace.Record(gen, n, meta)
+}
+
+// NewTraceRecorder tees gen: the consumer sees the unmodified stream while
+// the recorder retains it for WriteTraceFile.
+func NewTraceRecorder(gen Generator) *TraceRecorder { return trace.NewRecorder(gen) }
+
+// ReadTraceFile loads and fingerprint-verifies the trace at path.
+func ReadTraceFile(path string) (*InstrTrace, error) { return trace.ReadFile(path) }
+
+// WriteTraceFile atomically writes t to path.
+func WriteTraceFile(path string, t *InstrTrace) error { return trace.WriteFile(path, t) }
+
+// PeekTraceHeader reads only a trace file's identity header — metadata,
+// length, and content fingerprint — without decoding the instruction
+// payload.
+func PeekTraceHeader(path string) (TraceHeader, error) { return trace.PeekHeader(path) }

@@ -11,6 +11,9 @@
 //	clustersim -bench gzip -phases   # wall-clock phase attribution table
 //	clustersim -bench gzip -legacy-stepper   # seed per-cycle scan stepper
 //	clustersim -bench gzip -check    # validate cycle-level invariants
+//	clustersim -spec specs/gzip.json -n 1000000       # declarative workload
+//	clustersim -bench gzip -record-trace gzip.ctrace  # record, then exit
+//	clustersim -replay-trace gzip.ctrace -n 1000000   # replay a recording
 package main
 
 import (
@@ -42,10 +45,62 @@ func main() {
 	phaseSample := flag.Uint64("phase-sample", 0, "phase-attribution sampling period in cycles (0 = default, 1 in 64)")
 	checkInv := flag.Bool("check", false, "validate cycle-level invariants during the run (exit 1 on violation)")
 	legacyStepper := flag.Bool("legacy-stepper", false, "use the per-cycle scan stepper instead of the event-driven one (differential oracle / perf baseline)")
+	specFile := flag.String("spec", "", "run a declarative workload spec (JSON file) instead of -bench")
+	recordTrace := flag.String("record-trace", "", "record the workload's instruction stream (n + headroom instructions) to this file and exit without simulating")
+	replayTrace := flag.String("replay-trace", "", "replay a recorded instruction stream instead of generating one")
 	flag.Parse()
 
 	if *list {
 		fmt.Println(strings.Join(clustersim.Benchmarks(), "\n"))
+		return
+	}
+
+	// buildGen constructs the live workload (-spec, else -bench) and the
+	// identity a recording of it would carry.
+	buildGen := func() (clustersim.Generator, clustersim.TraceMeta, error) {
+		if *specFile != "" {
+			s, err := clustersim.LoadWorkloadSpec(*specFile)
+			if err != nil {
+				return nil, clustersim.TraceMeta{}, err
+			}
+			gen, err := clustersim.CompileWorkloadSpec(s, *seed)
+			if err != nil {
+				return nil, clustersim.TraceMeta{}, err
+			}
+			fp, err := s.Fingerprint()
+			if err != nil {
+				return nil, clustersim.TraceMeta{}, err
+			}
+			return gen, clustersim.TraceMeta{
+				Name: s.Name, SourceKind: clustersim.TraceSourceSpec,
+				SourceID: s.Name, SourceFP: fp, Seed: *seed,
+			}, nil
+		}
+		gen, err := clustersim.NewWorkload(*bench, *seed)
+		if err != nil {
+			return nil, clustersim.TraceMeta{}, err
+		}
+		return gen, clustersim.TraceMeta{
+			Name: *bench, SourceKind: clustersim.TraceSourceBench,
+			SourceID: *bench, Seed: *seed,
+		}, nil
+	}
+
+	if *recordTrace != "" {
+		if *replayTrace != "" {
+			fatal("-record-trace and -replay-trace are mutually exclusive")
+		}
+		gen, meta, err := buildGen()
+		if err != nil {
+			fatal("%v", err)
+		}
+		// Record past -n so the same file replays under any policy: deeper
+		// fetch-ahead consumes more of the stream than the commit window.
+		t := clustersim.RecordTrace(gen, *n+clustersim.DefaultTraceHeadroom, meta)
+		if err := clustersim.WriteTraceFile(*recordTrace, t); err != nil {
+			fatal("%v", err)
+		}
+		fmt.Printf("recorded %d instructions of %s to %s\n", len(t.Instrs), meta.Name, *recordTrace)
 		return
 	}
 
@@ -150,7 +205,27 @@ func main() {
 		cfg.Checker = chk
 	}
 
-	res, err := clustersim.Run(*bench, *seed, cfg, ctrl, *n)
+	var res clustersim.Result
+	var err error
+	if *specFile != "" || *replayTrace != "" {
+		var gen clustersim.Generator
+		if *replayTrace != "" {
+			t, terr := clustersim.ReadTraceFile(*replayTrace)
+			if terr != nil {
+				fatal("%v", terr)
+			}
+			gen = t.Replayer()
+		} else if gen, _, err = buildGen(); err != nil {
+			fatal("%v", err)
+		}
+		p, perr := clustersim.NewProcessor(cfg, gen, ctrl)
+		if perr != nil {
+			fatal("%v", perr)
+		}
+		res, err = runDirect(p, *n)
+	} else {
+		res, err = clustersim.Run(*bench, *seed, cfg, ctrl, *n)
+	}
 	if err != nil {
 		fatal("%v", err)
 	}
@@ -196,6 +271,23 @@ func main() {
 	if ptimer != nil {
 		fmt.Print(ptimer.Report().Table())
 	}
+}
+
+// runDirect drives an explicitly constructed processor (spec or replay
+// workloads). A replayer that runs off the end of its recording panics with
+// a typed error the sweep runner would recover per-run; here the process IS
+// the run, so recover it into an ordinary CLI failure.
+func runDirect(p *clustersim.Processor, n uint64) (res clustersim.Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			ex, ok := r.(*clustersim.TraceExhaustedError)
+			if !ok {
+				panic(r)
+			}
+			err = ex
+		}
+	}()
+	return p.Run(n)
 }
 
 func fatal(format string, args ...any) {

@@ -5,6 +5,8 @@
 //	experiments -run all
 //	experiments -run fig3,fig5 -scale 0.5 -bench gzip,swim
 //	experiments -run all -parallel 8
+//	experiments -run fig5 -spec specs/phase-thrash.json -bench phase-thrash
+//	experiments -record-trace traces && experiments -run all -replay-trace traces
 //
 // Each experiment prints an aligned table whose rows/series correspond to
 // the paper artifact named by its ID (see -list). EXPERIMENTS.md records
@@ -62,6 +64,7 @@ import (
 	"clustersim/internal/experiments"
 	"clustersim/internal/obs"
 	"clustersim/internal/runner"
+	"clustersim/internal/spec"
 	"clustersim/internal/telemetry"
 )
 
@@ -89,6 +92,9 @@ func main() {
 	phaseSample := flag.Uint64("phase-sample", 0, "phase-attribution sampling period in cycles (0 = default, 1 in 64)")
 	serve := flag.String("serve", "", "serve live sweep metrics over HTTP on this address while experiments run")
 	servePprof := flag.Bool("pprof", false, "with -serve, also expose Go profiling endpoints under /debug/pprof/")
+	specFiles := flag.String("spec", "", "comma-separated declarative workload spec files to add to the benchmark set")
+	recordTraceDir := flag.String("record-trace", "", "record every workload's instruction stream under this directory and exit without running experiments")
+	replayTraceDir := flag.String("replay-trace", "", "replay recorded instruction streams from this directory instead of generating workloads")
 	flag.Parse()
 
 	reg := experiments.Registry()
@@ -198,6 +204,38 @@ func main() {
 	}
 	if *benches != "" {
 		opts.Benchmarks = strings.Split(*benches, ",")
+	}
+	if *specFiles != "" {
+		opts.Specs = make(map[string]*spec.Spec)
+		for _, path := range strings.Split(*specFiles, ",") {
+			s, err := spec.LoadFile(strings.TrimSpace(path))
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+				os.Exit(2)
+			}
+			if len(s.Mix) > 0 {
+				fmt.Fprintf(os.Stderr, "experiments: spec %s is a multi-programmed mix; sweeps take single-program specs (run mixes through the SMT API)\n", s.Name)
+				os.Exit(2)
+			}
+			if _, dup := opts.Specs[s.Name]; dup {
+				fmt.Fprintf(os.Stderr, "experiments: duplicate spec name %q\n", s.Name)
+				os.Exit(2)
+			}
+			opts.Specs[s.Name] = s
+		}
+	}
+	if *recordTraceDir != "" {
+		n, err := experiments.RecordTraces(opts, *recordTraceDir, 0)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: record-trace: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "experiments: recorded %d trace(s) under %s\n", n, *recordTraceDir)
+		return
+	}
+	if *replayTraceDir != "" {
+		opts.ReplayTraceDir = *replayTraceDir
+		opts.TraceCache = experiments.NewTraceCache()
 	}
 
 	var failed, partial []string

@@ -43,6 +43,8 @@ var SimPackages = []string{
 	"clustersim/internal/smt",
 	"clustersim/internal/energy",
 	"clustersim/internal/isa",
+	"clustersim/internal/spec",
+	"clustersim/internal/trace",
 }
 
 // IsSimPackage reports whether an import path is subject to the

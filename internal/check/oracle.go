@@ -145,11 +145,21 @@ func IntervalInvariance(r *runner.Runner, bench string, seed, window uint64, cfg
 // for static); a fresh instance is built per machine so no state leaks
 // between the interrupted and resumed halves outside the snapshot itself.
 func ResumeEquivalence(bench string, seed, window, at uint64, cfg pipeline.Config, mkCtrl func() pipeline.Controller) error {
+	return ResumeEquivalenceGen(bench,
+		func() (workload.Generator, error) { return workload.New(bench, seed) },
+		window, at, cfg, mkCtrl)
+}
+
+// ResumeEquivalenceGen is ResumeEquivalence over an arbitrary generator
+// factory — the oracle form spec-compiled and trace-replayed workloads
+// use. mkGen must build a fresh, rewound generator per call (three
+// machines are constructed); label names the workload in error messages.
+func ResumeEquivalenceGen(label string, mkGen func() (workload.Generator, error), window, at uint64, cfg pipeline.Config, mkCtrl func() pipeline.Controller) error {
 	if at == 0 || at >= window {
 		return fmt.Errorf("check: ResumeEquivalence checkpoint %d outside (0,%d)", at, window)
 	}
 	build := func() (*pipeline.Processor, error) {
-		gen, err := workload.New(bench, seed)
+		gen, err := mkGen()
 		if err != nil {
 			return nil, err
 		}
@@ -194,7 +204,7 @@ func ResumeEquivalence(bench string, seed, window, at uint64, cfg pipeline.Confi
 	}
 	if resumed != whole {
 		return fmt.Errorf("check: %s resume at %d diverges from uninterrupted run:\n  whole:   %+v\n  resumed: %+v",
-			bench, at, whole, resumed)
+			label, at, whole, resumed)
 	}
 	return nil
 }

@@ -1,0 +1,130 @@
+package check
+
+import (
+	"testing"
+
+	"clustersim/internal/core"
+	"clustersim/internal/pipeline"
+	"clustersim/internal/trace"
+	"clustersim/internal/workload"
+)
+
+// recordTrace snapshots a benchmark's stream with enough headroom to serve
+// the window under any policy's fetch-ahead.
+func recordTrace(t *testing.T, bench string, seed, window uint64) *trace.Trace {
+	t.Helper()
+	gen, err := workload.New(bench, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return trace.Record(gen, window+trace.DefaultHeadroom, trace.Meta{
+		Name: bench, SourceKind: trace.SourceBench, SourceID: bench, Seed: seed,
+	})
+}
+
+// TestResumeEquivalenceTracedRuns extends the crash-safety oracle to
+// replayed workloads: an interrupted replay run, checkpointed and resumed
+// into a freshly built replayer (as a restarted process re-reading the
+// trace file would), finishes byte-identical to the uninterrupted replay.
+func TestResumeEquivalenceTracedRuns(t *testing.T) {
+	const window, at = 40_000, 17_000
+	tr := recordTrace(t, "gzip", 1, window)
+	mkGen := func() (workload.Generator, error) { return tr.Replayer(), nil }
+	policies := []struct {
+		name string
+		mk   func() pipeline.Controller
+	}{
+		{"static", nil},
+		{"dilp", func() pipeline.Controller { return core.NewDistantILP(core.DistantILPConfig{}) }},
+		{"explore", func() pipeline.Controller { return core.NewExplore(core.ExploreConfig{}) }},
+	}
+	for _, pol := range policies {
+		t.Run(pol.name, func(t *testing.T) {
+			if err := ResumeEquivalenceGen("gzip-replayed", mkGen, window, at, pipeline.DefaultConfig(), pol.mk); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestReplayRunCyclesChunking: driving a replayed machine in many
+// RunCycles slices must land on the same state as one big slice, and both
+// must equal the live-generator machine — replay is transparent to how the
+// caller advances time.
+func TestReplayRunCyclesChunking(t *testing.T) {
+	const (
+		totalCycles = 24_000
+		chunk       = 1_700 // deliberately not a divisor of totalCycles
+		window      = 64_000
+	)
+	tr := recordTrace(t, "swim", 1, window)
+
+	build := func(gen workload.Generator) *pipeline.Processor {
+		t.Helper()
+		p, err := pipeline.New(pipeline.DefaultConfig(), gen, core.NewDistantILP(core.DistantILPConfig{}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+
+	whole := build(tr.Replayer())
+	wholeRes, err := whole.RunCycles(totalCycles)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sliced := build(tr.Replayer())
+	var slicedRes pipeline.Result
+	for done := uint64(0); done < totalCycles; {
+		n := uint64(chunk)
+		if done+n > totalCycles {
+			n = totalCycles - done
+		}
+		if slicedRes, err = sliced.RunCycles(n); err != nil {
+			t.Fatal(err)
+		}
+		done += n
+	}
+	if wholeRes != slicedRes {
+		t.Fatalf("chunked replay diverges from whole replay:\n  whole:   %+v\n  chunked: %+v", wholeRes, slicedRes)
+	}
+
+	liveGen, err := workload.New("swim", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	live := build(liveGen)
+	liveRes, err := live.RunCycles(totalCycles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if liveRes != wholeRes {
+		t.Fatalf("replay diverges from live generation:\n  live:   %+v\n  replay: %+v", liveRes, wholeRes)
+	}
+}
+
+// TestReplayExhaustionIsRunError: a trace recorded without enough headroom
+// fails loudly through the runner's recover path rather than crashing the
+// process or silently truncating the run.
+func TestReplayExhaustionIsRunError(t *testing.T) {
+	gen, err := workload.New("gzip", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	short := trace.Record(gen, 1_000, trace.Meta{Name: "gzip", SourceKind: trace.SourceBench, SourceID: "gzip", Seed: 1})
+	p, err := pipeline.New(pipeline.DefaultConfig(), short.Replayer(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatalf("running past the recording did not panic")
+		}
+		if _, ok := r.(*trace.ExhaustedError); !ok {
+			t.Fatalf("panicked with %T, want *trace.ExhaustedError", r)
+		}
+	}()
+	p.Run(10_000)
+}

@@ -20,6 +20,7 @@ import (
 	"clustersim/internal/obs"
 	"clustersim/internal/pipeline"
 	"clustersim/internal/runner"
+	"clustersim/internal/spec"
 	"clustersim/internal/telemetry"
 	"clustersim/internal/workload"
 )
@@ -61,6 +62,23 @@ type Options struct {
 	// (aggregated across the whole pool; attribution-only, results are
 	// bit-identical with or without it).
 	Phases *telemetry.PhaseTimer
+	// Specs maps workload names to parsed declarative specs: a
+	// Benchmarks entry naming a key here simulates the spec-compiled
+	// stream instead of a built-in generator. Spec workloads are cached
+	// and checkpointed under the spec's content fingerprint.
+	Specs map[string]*spec.Spec
+	// ReplayTraceDir, when set, replays every workload from a recorded
+	// trace file (see TraceFileName) instead of generating it live —
+	// byte-identical to live generation by the trace round-trip
+	// contract. Traces must have been recorded with at least the sweep's
+	// windows plus fetch headroom (RecordTraces does this); cache keys
+	// use the trace's content fingerprint.
+	ReplayTraceDir string
+	// TraceCache, when non-nil, shares loaded traces across the sweep's
+	// requests (one file read and one in-memory copy per workload
+	// instead of one per cell). Optional: without it every replayed run
+	// re-reads its file.
+	TraceCache *TraceCache
 }
 
 func (o Options) seed() uint64 {
@@ -81,7 +99,22 @@ func (o Options) benchmarks() []string {
 	if len(o.Benchmarks) > 0 {
 		return o.Benchmarks
 	}
-	return workload.Benchmarks()
+	names := workload.Benchmarks()
+	if len(o.Specs) > 0 {
+		builtin := make(map[string]bool, len(names))
+		for _, n := range names {
+			builtin[n] = true
+		}
+		var extra []string
+		for n := range o.Specs {
+			if !builtin[n] {
+				extra = append(extra, n)
+			}
+		}
+		sort.Strings(extra)
+		names = append(names, extra...)
+	}
+	return names
 }
 
 // window returns the simulation window for a benchmark: long enough to
@@ -250,6 +283,7 @@ func (o Options) request(id, bench string, cfg pipeline.Config, ctrl pipeline.Co
 		Config:     cfg,
 		Controller: ctrl,
 	}
+	o.bindWorkload(&req)
 	req.Config.Phases = o.Phases
 	if o.Check {
 		// One checker per run: Invariants tracks cumulative counters and

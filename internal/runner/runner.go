@@ -64,6 +64,22 @@ type Request struct {
 	// PolicyKey augments the cache key when Controller.Name() does not
 	// uniquely identify the controller's configuration.
 	PolicyKey string
+	// Source, when non-nil, builds the run's workload generator instead
+	// of workload.New(Bench, Seed) — the injection point for spec-
+	// compiled and trace-replayed workloads. It is called once per
+	// execution attempt on the worker (each attempt needs a fresh
+	// stream) and must be safe for concurrent invocation across
+	// requests. A sourced request also needs a SourceKey to stay
+	// cacheable.
+	Source func() (workload.Generator, error)
+	// SourceKey is the Source's content-addressed identity (e.g.
+	// "spec:<fingerprint>" or "trace:<fingerprint>"), folded into the
+	// cache key so a sourced run can never alias a built-in run — or a
+	// run sourced from different content. Cache keys name persisted
+	// results across processes, so the key must identify the workload's
+	// content, never a file path. Empty with a non-nil Source disables
+	// caching for the request.
+	SourceKey string
 	// NoCache forces execution even when an identical run is cached (e.g.
 	// when the controller instance is harvested after the run).
 	NoCache bool
@@ -89,6 +105,12 @@ func (q *Request) policy() string {
 // (one instance per run) and its violations are harvested after the run, so
 // a cache hit would silently skip validation.
 func (q *Request) cacheable() bool {
+	if q.Source != nil && q.SourceKey == "" {
+		// An unkeyed source closure has no content identity to hash:
+		// two requests with different closures would collide on
+		// (Bench, Seed) alone.
+		return false
+	}
 	return !q.NoCache && q.Config.Observer == nil && q.Config.Checker == nil && q.PostRun == nil
 }
 
@@ -122,6 +144,7 @@ func (q *Request) key() uint64 {
 	}
 	hashField(h, ctrlName)
 	hashField(h, q.PolicyKey)
+	hashField(h, q.SourceKey)
 	c := q.Config
 	cacheCfg := c.CacheConfig
 	branchCfg := c.BranchPred
@@ -564,7 +587,11 @@ func (r *Runner) executeOnce(q *Request, key uint64) (res pipeline.Result, err e
 		}
 	}()
 	build := func() (*pipeline.Processor, error) {
-		gen, gerr := workload.New(q.Bench, q.Seed)
+		mkGen := q.Source
+		if mkGen == nil {
+			mkGen = func() (workload.Generator, error) { return workload.New(q.Bench, q.Seed) }
+		}
+		gen, gerr := mkGen()
 		if gerr != nil {
 			return nil, gerr
 		}

@@ -1,0 +1,87 @@
+package runner
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"clustersim/internal/workload"
+)
+
+// TestSourceInjection: a request carrying its own generator factory must
+// produce the byte-identical Result of the equivalent built-in request
+// when the factory yields the same stream.
+func TestSourceInjection(t *testing.T) {
+	reqs := []Request{staticReq("gzip", 4), staticReq("gzip", 4)}
+	reqs[1].Source = func() (workload.Generator, error) { return workload.New("gzip", 1) }
+	reqs[1].SourceKey = "test:equivalent"
+	res, err := New(2).RunAll(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0] != res[1] {
+		t.Fatalf("injected source diverges from built-in generator:\n  builtin: %+v\n  source:  %+v", res[0], res[1])
+	}
+}
+
+// TestSourceKeyCaching: SourceKey is part of the cache identity — same key
+// hits, different keys (and the no-key case) never collide with the
+// built-in request.
+func TestSourceKeyCaching(t *testing.T) {
+	src := func() (workload.Generator, error) { return workload.New("gzip", 1) }
+	base := staticReq("gzip", 4)
+	a := base
+	a.Source, a.SourceKey = src, "trace:aaaa"
+	b := base
+	b.Source, b.SourceKey = src, "trace:bbbb"
+	if base.key() == a.key() || a.key() == b.key() {
+		t.Fatalf("SourceKey does not discriminate cache keys")
+	}
+	if !a.cacheable() {
+		t.Fatalf("keyed source request must be cacheable")
+	}
+
+	r := New(1)
+	if _, err := r.RunAll([]Request{a, a}); err != nil {
+		t.Fatal(err)
+	}
+	if st := r.Stats(); st.Runs != 1 || st.Deduped != 1 {
+		t.Fatalf("keyed source requests did not dedup: %+v", st)
+	}
+}
+
+// TestSourceWithoutKeyUncacheable: a generator factory with no content key
+// must bypass the cache entirely — the runner cannot know two closures
+// yield the same stream.
+func TestSourceWithoutKeyUncacheable(t *testing.T) {
+	q := staticReq("gzip", 4)
+	q.Source = func() (workload.Generator, error) { return workload.New("gzip", 1) }
+	if q.cacheable() {
+		t.Fatalf("keyless source request must not be cacheable")
+	}
+	r := New(1)
+	for i := 0; i < 2; i++ {
+		if _, err := r.RunAll([]Request{q}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := r.Stats(); st.Runs != 2 {
+		t.Fatalf("keyless source request was cache-served: %+v", st)
+	}
+}
+
+// TestSourceErrorSurfaces: a failing factory is a per-run failure with the
+// factory's error, not a panic or a silent zero Result.
+func TestSourceErrorSurfaces(t *testing.T) {
+	q := staticReq("gzip", 4)
+	q.Source = func() (workload.Generator, error) { return nil, fmt.Errorf("trace file rotted away") }
+	q.SourceKey = "trace:gone"
+	_, err := New(1).RunAll([]Request{q})
+	var se *SweepError
+	if !errors.As(err, &se) || len(se.Failures) != 1 {
+		t.Fatalf("want one-failure SweepError, got %v", err)
+	}
+	if se.Failures[0].Err == nil {
+		t.Fatalf("failure lost the source error")
+	}
+}

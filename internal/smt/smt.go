@@ -31,6 +31,11 @@ type Thread struct {
 	Bench string
 	// Seed seeds the thread's instruction stream.
 	Seed uint64
+	// Gen, when non-nil, supplies the thread's instruction stream
+	// directly (spec-compiled or trace-replayed workloads); Bench and
+	// Seed then only label the thread. Generators are stateful: every
+	// thread needs its own instance.
+	Gen workload.Generator
 }
 
 // ThreadStats summarizes one thread's most recent scheduling epoch for the
@@ -246,9 +251,12 @@ func New(cfg pipeline.Config, threads []Thread, total int, policy PartitionPolic
 		return nil, err
 	}
 	for i, th := range threads {
-		gen, err := workload.New(th.Bench, th.Seed)
-		if err != nil {
-			return nil, err
+		gen := th.Gen
+		if gen == nil {
+			var err error
+			if gen, err = workload.New(th.Bench, th.Seed); err != nil {
+				return nil, err
+			}
 		}
 		c := cfg
 		c.Clusters = total

@@ -1,0 +1,254 @@
+package spec
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+
+	"clustersim/internal/rng"
+)
+
+// Distribution kinds. Every kind is sampled by inverting its CDF on uniform
+// variates from internal/rng, so a spec consumes a fixed, documented number
+// of draws per sample regardless of the value produced — the property that
+// keeps spec expansion deterministic and editable (changing one phase's
+// distribution parameters never shifts another phase's draws; see Compile).
+const (
+	// DistConst is a degenerate point mass. It consumes no draws, so the
+	// nine benchmark specs (all constants) expand without touching the
+	// RNG at all.
+	DistConst = "const"
+	// DistUniform is continuous uniform on [Min, Max]. One draw.
+	DistUniform = "uniform"
+	// DistGeometric is the geometric distribution with mean Mean >= 1
+	// (number of Bernoulli(1/Mean) trials up to the first success),
+	// inverted in closed form. One draw.
+	DistGeometric = "geometric"
+	// DistExponential has mean Mean > 0. One draw.
+	DistExponential = "exponential"
+	// DistPoisson has mean Mean > 0, inverted by CDF summation. One draw.
+	DistPoisson = "poisson"
+	// DistGamma is restricted to integer Shape k >= 1 (the Erlang
+	// distribution), sampled as the sum of k inverse-CDF exponentials of
+	// mean Scale. Exactly k draws. Non-integer shapes have no closed-form
+	// inverse CDF and are rejected at validation.
+	DistGamma = "gamma"
+	// DistWeibull has Shape > 0 and Scale > 0. One draw.
+	DistWeibull = "weibull"
+)
+
+// Dist is a sampleable scalar in a workload spec: either a constant or a
+// named distribution. In JSON a constant is written as a bare number
+// (`"length": 400000`) and a distribution as an object
+// (`"length": {"dist": "uniform", "min": 3000, "max": 9000}`); Dist
+// marshals constants back to bare numbers so serialization is a fixed
+// point of parsing.
+type Dist struct {
+	// Kind selects the distribution ("" and DistConst both mean a
+	// constant; parsing always normalizes to DistConst).
+	Kind string `json:"dist"`
+	// Value is the constant's value (DistConst only).
+	Value float64 `json:"value,omitempty"`
+	// Min and Max bound DistUniform.
+	Min float64 `json:"min,omitempty"`
+	Max float64 `json:"max,omitempty"`
+	// Mean parameterizes DistGeometric, DistExponential and DistPoisson.
+	Mean float64 `json:"mean,omitempty"`
+	// Shape and Scale parameterize DistGamma and DistWeibull.
+	Shape float64 `json:"shape,omitempty"`
+	Scale float64 `json:"scale,omitempty"`
+}
+
+// Const returns a constant distribution.
+func Const(v float64) Dist { return Dist{Kind: DistConst, Value: v} }
+
+// IsConst reports whether d is a point mass (and so consumes no draws).
+func (d Dist) IsConst() bool { return d.Kind == "" || d.Kind == DistConst }
+
+// UnmarshalJSON accepts a bare JSON number (constant) or a distribution
+// object with unknown fields rejected.
+func (d *Dist) UnmarshalJSON(data []byte) error {
+	trimmed := bytes.TrimSpace(data)
+	if len(trimmed) == 0 {
+		return fmt.Errorf("empty distribution")
+	}
+	if trimmed[0] != '{' {
+		var v float64
+		if err := json.Unmarshal(trimmed, &v); err != nil {
+			return fmt.Errorf("distribution must be a number or an object: %w", err)
+		}
+		*d = Const(v)
+		return nil
+	}
+	// Decode through a local alias so this method does not recurse, with
+	// the same strictness Parse applies to the enclosing spec.
+	type distAlias Dist
+	var a distAlias
+	dec := json.NewDecoder(bytes.NewReader(trimmed))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&a); err != nil {
+		return err
+	}
+	*d = Dist(a)
+	if d.Kind == "" {
+		d.Kind = DistConst
+	}
+	return nil
+}
+
+// MarshalJSON writes constants as bare numbers and everything else as the
+// object form, so parse → serialize → parse is the identity.
+func (d Dist) MarshalJSON() ([]byte, error) {
+	if d.IsConst() {
+		return json.Marshal(d.Value)
+	}
+	type distAlias Dist
+	return json.Marshal(distAlias(d))
+}
+
+// validate checks the distribution's parameters. what names the field for
+// error messages.
+func (d Dist) validate(what string) error {
+	bad := func(format string, args ...any) error {
+		return fmt.Errorf("%s: %s", what, fmt.Sprintf(format, args...))
+	}
+	finite := func(name string, v float64) error {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return bad("%s must be finite, got %v", name, v)
+		}
+		return nil
+	}
+	switch d.Kind {
+	case "", DistConst:
+		return finite("value", d.Value)
+	case DistUniform:
+		if err := finite("min", d.Min); err != nil {
+			return err
+		}
+		if err := finite("max", d.Max); err != nil {
+			return err
+		}
+		if d.Min > d.Max {
+			return bad("min %v exceeds max %v", d.Min, d.Max)
+		}
+		return nil
+	case DistGeometric:
+		if err := finite("mean", d.Mean); err != nil {
+			return err
+		}
+		if d.Mean < 1 {
+			return bad("geometric mean must be >= 1, got %v", d.Mean)
+		}
+		return nil
+	case DistExponential, DistPoisson:
+		if err := finite("mean", d.Mean); err != nil {
+			return err
+		}
+		if d.Mean <= 0 {
+			return bad("%s mean must be > 0, got %v", d.Kind, d.Mean)
+		}
+		if d.Kind == DistPoisson && d.Mean > 1e6 {
+			return bad("poisson mean %v exceeds the 1e6 inversion limit", d.Mean)
+		}
+		return nil
+	case DistGamma:
+		if err := finite("shape", d.Shape); err != nil {
+			return err
+		}
+		if err := finite("scale", d.Scale); err != nil {
+			return err
+		}
+		if d.Shape < 1 || d.Shape != math.Trunc(d.Shape) {
+			return bad("gamma shape must be a positive integer (Erlang), got %v", d.Shape)
+		}
+		if d.Shape > 64 {
+			return bad("gamma shape %v exceeds the 64-stage Erlang limit", d.Shape)
+		}
+		if d.Scale <= 0 {
+			return bad("gamma scale must be > 0, got %v", d.Scale)
+		}
+		return nil
+	case DistWeibull:
+		if err := finite("shape", d.Shape); err != nil {
+			return err
+		}
+		if err := finite("scale", d.Scale); err != nil {
+			return err
+		}
+		if d.Shape <= 0 {
+			return bad("weibull shape must be > 0, got %v", d.Shape)
+		}
+		if d.Scale <= 0 {
+			return bad("weibull scale must be > 0, got %v", d.Scale)
+		}
+		return nil
+	default:
+		return bad("unknown distribution %q (want %s)", d.Kind,
+			"const|uniform|geometric|exponential|poisson|gamma|weibull")
+	}
+}
+
+// Sample draws one value by inverse-CDF transform of r's uniform output.
+// Constants consume no draws; gamma consumes Shape draws (one per Erlang
+// stage); every other kind consumes exactly one.
+func (d Dist) Sample(r *rng.Source) float64 {
+	switch d.Kind {
+	case "", DistConst:
+		return d.Value
+	case DistUniform:
+		return d.Min + (d.Max-d.Min)*r.Float64()
+	case DistGeometric:
+		if d.Mean <= 1 {
+			return 1
+		}
+		// P(X <= n) = 1 - (1-p)^n; invert at u: the smallest n with
+		// (1-p)^n <= 1-u.
+		u := r.Float64()
+		n := math.Floor(math.Log1p(-u)/math.Log1p(-1/d.Mean)) + 1
+		if n < 1 {
+			n = 1
+		}
+		return n
+	case DistExponential:
+		return -d.Mean * math.Log1p(-r.Float64())
+	case DistPoisson:
+		// Invert F(k) by summation: walk the PMF until the cumulative
+		// mass passes u. The validation bound on Mean keeps the walk
+		// short and e^-Mean representable.
+		u := r.Float64()
+		p := math.Exp(-d.Mean)
+		f := p
+		k := 0.0
+		for u > f && k < 4*d.Mean+64 {
+			k++
+			p *= d.Mean / k
+			f += p
+		}
+		return k
+	case DistGamma:
+		sum := 0.0
+		for i := 0; i < int(d.Shape); i++ {
+			sum += -d.Scale * math.Log1p(-r.Float64())
+		}
+		return sum
+	case DistWeibull:
+		return d.Scale * math.Pow(-math.Log1p(-r.Float64()), 1/d.Shape)
+	default:
+		// Validate rejects unknown kinds before sampling; treat a
+		// hand-built invalid Dist as its zero constant.
+		return 0
+	}
+}
+
+// SampleInt draws one value and clamps it into [lo, hi] as an integer.
+func (d Dist) SampleInt(r *rng.Source, lo, hi int64) int64 {
+	v := d.Sample(r)
+	switch {
+	case math.IsNaN(v) || v < float64(lo):
+		return lo
+	case v >= float64(hi):
+		return hi
+	}
+	return int64(v)
+}

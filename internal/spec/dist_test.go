@@ -1,0 +1,130 @@
+package spec_test
+
+import (
+	"math"
+	"testing"
+
+	"clustersim/internal/rng"
+	"clustersim/internal/spec"
+)
+
+func TestDistSampleSupport(t *testing.T) {
+	cases := []struct {
+		name    string
+		d       spec.Dist
+		lo, hi  float64
+		integer bool
+	}{
+		{"const", spec.Const(42), 42, 42, false},
+		{"uniform", spec.Dist{Kind: spec.DistUniform, Min: 10, Max: 20}, 10, 20, false},
+		{"geometric", spec.Dist{Kind: spec.DistGeometric, Mean: 5}, 1, math.Inf(1), true},
+		{"exponential", spec.Dist{Kind: spec.DistExponential, Mean: 100}, 0, math.Inf(1), false},
+		{"poisson", spec.Dist{Kind: spec.DistPoisson, Mean: 7}, 0, 4*7 + 64, true},
+		{"gamma", spec.Dist{Kind: spec.DistGamma, Shape: 4, Scale: 50}, 0, math.Inf(1), false},
+		{"weibull", spec.Dist{Kind: spec.DistWeibull, Shape: 2, Scale: 30}, 0, math.Inf(1), false},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			r := rng.New(7)
+			for i := 0; i < 10_000; i++ {
+				v := c.d.Sample(r)
+				if v < c.lo || v > c.hi {
+					t.Fatalf("draw %d: %v outside [%v,%v]", i, v, c.lo, c.hi)
+				}
+				if c.integer && v != math.Trunc(v) {
+					t.Fatalf("draw %d: %v not an integer", i, v)
+				}
+			}
+		})
+	}
+}
+
+func TestDistSampleDeterminism(t *testing.T) {
+	d := spec.Dist{Kind: spec.DistWeibull, Shape: 1.3, Scale: 900}
+	a, b := rng.New(11), rng.New(11)
+	for i := 0; i < 1000; i++ {
+		if va, vb := d.Sample(a), d.Sample(b); va != vb {
+			t.Fatalf("draw %d: %v vs %v from identical sources", i, va, vb)
+		}
+	}
+}
+
+// TestDistDrawBudget pins the draw-count contract Compile documents: a
+// constant consumes no uniforms, gamma consumes Shape, everything else
+// exactly one. Editing one phase's distribution must never shift the
+// variates a later phase samples.
+func TestDistDrawBudget(t *testing.T) {
+	cases := []struct {
+		name  string
+		d     spec.Dist
+		draws uint64
+	}{
+		{"const", spec.Const(3), 0},
+		{"uniform", spec.Dist{Kind: spec.DistUniform, Min: 0, Max: 1}, 1},
+		{"geometric", spec.Dist{Kind: spec.DistGeometric, Mean: 9}, 1},
+		{"exponential", spec.Dist{Kind: spec.DistExponential, Mean: 5}, 1},
+		{"poisson", spec.Dist{Kind: spec.DistPoisson, Mean: 12}, 1},
+		{"gamma", spec.Dist{Kind: spec.DistGamma, Shape: 5, Scale: 2}, 5},
+		{"weibull", spec.Dist{Kind: spec.DistWeibull, Shape: 0.8, Scale: 4}, 1},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			r := rng.New(3)
+			c.d.Sample(r)
+			probe := r.Uint64()
+			// Reference: advance a twin source by the documented draw count
+			// by hand, then draw the same probe.
+			ref := rng.New(3)
+			for i := uint64(0); i < c.draws; i++ {
+				ref.Float64()
+			}
+			if want := ref.Uint64(); probe != want {
+				t.Fatalf("sample consumed a different number of draws than the documented %d", c.draws)
+			}
+		})
+	}
+}
+
+func TestDistSampleMeans(t *testing.T) {
+	// Inverse-CDF sampling must reproduce the distribution's mean; a fixed
+	// seed makes the check exact-once-measured rather than flaky.
+	const n = 200_000
+	cases := []struct {
+		name string
+		d    spec.Dist
+		mean float64
+		tol  float64
+	}{
+		{"uniform", spec.Dist{Kind: spec.DistUniform, Min: 100, Max: 300}, 200, 0.02},
+		{"geometric", spec.Dist{Kind: spec.DistGeometric, Mean: 12}, 12, 0.02},
+		{"exponential", spec.Dist{Kind: spec.DistExponential, Mean: 4000}, 4000, 0.02},
+		{"poisson", spec.Dist{Kind: spec.DistPoisson, Mean: 9}, 9, 0.02},
+		{"gamma", spec.Dist{Kind: spec.DistGamma, Shape: 3, Scale: 100}, 300, 0.02},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			r := rng.New(123)
+			sum := 0.0
+			for i := 0; i < n; i++ {
+				sum += c.d.Sample(r)
+			}
+			got := sum / n
+			if math.Abs(got-c.mean) > c.mean*c.tol {
+				t.Fatalf("empirical mean %v, want %v ± %.0f%%", got, c.mean, c.tol*100)
+			}
+		})
+	}
+}
+
+func TestSampleIntClamps(t *testing.T) {
+	r := rng.New(1)
+	if got := spec.Const(0).SampleInt(r, 5, 10); got != 5 {
+		t.Errorf("below-range constant clamped to %d, want 5", got)
+	}
+	if got := spec.Const(1e18).SampleInt(r, 5, 10); got != 10 {
+		t.Errorf("above-range constant clamped to %d, want 10", got)
+	}
+	if got := spec.Const(7).SampleInt(r, 5, 10); got != 7 {
+		t.Errorf("in-range constant became %d, want 7", got)
+	}
+}

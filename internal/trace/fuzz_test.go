@@ -1,0 +1,53 @@
+package trace
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"clustersim/internal/workload"
+)
+
+// FuzzTraceRoundTrip feeds arbitrary bytes to the decoder: it must reject
+// or accept without panicking, and anything it accepts must re-encode and
+// re-decode to the identical trace (the codec is a bijection on its valid
+// range).
+func FuzzTraceRoundTrip(f *testing.F) {
+	// Seed with real encodings so the fuzzer starts inside the valid
+	// format rather than spending the budget on magic-string discovery.
+	gen, err := workload.New("gzip", 1)
+	if err != nil {
+		f.Fatal(err)
+	}
+	for _, n := range []uint64{0, 1, 33} {
+		var buf bytes.Buffer
+		tr := Record(gen, n, Meta{Name: "gzip", SourceKind: SourceBench, SourceID: "gzip", Seed: 1})
+		if err := Write(&buf, tr); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+	}
+	f.Add([]byte{})
+	f.Add([]byte("CSIM-TRACE garbage"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, tr); err != nil {
+			t.Fatalf("re-encoding an accepted trace failed: %v", err)
+		}
+		tr2, err := Read(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("re-decoding a re-encoded trace failed: %v", err)
+		}
+		if !reflect.DeepEqual(tr, tr2) {
+			t.Fatalf("round trip changed the trace:\n  first:  %+v\n  second: %+v", tr.Meta, tr2.Meta)
+		}
+		if tr.Fingerprint() != tr2.Fingerprint() {
+			t.Fatalf("round trip changed the fingerprint")
+		}
+	})
+}

@@ -94,6 +94,51 @@ func Custom(name string, phases []Phase, seed uint64) (Generator, error) {
 	return newEngine(p, seed), nil
 }
 
+// BuiltinPhases returns the named built-in benchmark's phase list in the
+// exported form Custom accepts, or false for an unknown name. It exists so
+// the declarative spec layer (internal/spec) can express the nine bundled
+// benchmarks as checked-in spec files and prove — by byte-identical
+// replay — that the format covers them; Custom over an unmodified
+// BuiltinPhases result reproduces New's stream exactly.
+func BuiltinPhases(name string) ([]Phase, bool) {
+	p, ok := programs[name]
+	if !ok {
+		return nil, false
+	}
+	out := make([]Phase, len(p.phases))
+	for i, ph := range p.phases {
+		out[i] = Phase{
+			Name:   ph.name,
+			Length: ph.length,
+			Kernel: Kernel{
+				Chains:         ph.k.Chains,
+				FP:             ph.k.FP,
+				LoadFrac:       ph.k.LoadFrac,
+				StoreFrac:      ph.k.StoreFrac,
+				BranchFrac:     ph.k.BranchFrac,
+				MultFrac:       ph.k.MultFrac,
+				CrossFrac:      ph.k.CrossFrac,
+				FreshFrac:      ph.k.FreshFrac,
+				LoopBody:       ph.k.LoopBody,
+				LoopIters:      ph.k.LoopIters,
+				IterJitter:     ph.k.IterJitter,
+				RandBranchFrac: ph.k.RandBranchFrac,
+				RandTakenProb:  ph.k.RandTakenProb,
+				Stride:         ph.k.Stride,
+				Footprint:      ph.k.Footprint,
+				RandomAddr:     ph.k.RandomAddr,
+				Chase:          ph.k.Chase,
+				AddrDepFrac:    ph.k.AddrDepFrac,
+				ReuseFrac:      ph.k.ReuseFrac,
+				StaticBlocks:   ph.k.StaticBlocks,
+				CallEvery:      ph.k.CallEvery,
+				Funcs:          ph.k.Funcs,
+			},
+		}
+	}
+	return out, true
+}
+
 func clamp01(f float64) float64 {
 	switch {
 	case f < 0 || f != f: // negative or NaN
