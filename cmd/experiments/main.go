@@ -7,6 +7,8 @@
 //	experiments -run all -parallel 8
 //	experiments -run fig5 -spec specs/phase-thrash.json -bench phase-thrash
 //	experiments -record-trace traces && experiments -run all -replay-trace traces
+//	experiments -run policy,counterfactual -policy-spec specs/policy/dilp-1k.json,specs/policy/fg-window540.json
+//	experiments -search 16 -bench gzip,vpr -scale 0.1
 //
 // Each experiment prints an aligned table whose rows/series correspond to
 // the paper artifact named by its ID (see -list). EXPERIMENTS.md records
@@ -63,9 +65,11 @@ import (
 
 	"clustersim/internal/experiments"
 	"clustersim/internal/obs"
+	"clustersim/internal/policy"
 	"clustersim/internal/runner"
 	"clustersim/internal/spec"
 	"clustersim/internal/telemetry"
+	"clustersim/internal/workload"
 )
 
 func main() {
@@ -93,6 +97,9 @@ func main() {
 	serve := flag.String("serve", "", "serve live sweep metrics over HTTP on this address while experiments run")
 	servePprof := flag.Bool("pprof", false, "with -serve, also expose Go profiling endpoints under /debug/pprof/")
 	specFiles := flag.String("spec", "", "comma-separated declarative workload spec files to add to the benchmark set")
+	policySpecs := flag.String("policy-spec", "", "comma-separated policy spec files for the policy/counterfactual experiments (first = counterfactual base)")
+	cfK := flag.Int("counterfactual-k", 0, "alternative policies replayed per decision trace in the counterfactual experiment (0 = 3)")
+	searchN := flag.Int("search", 0, "run a deterministic policy tournament with this population instead of experiments (prints a ranked CSV leaderboard)")
 	recordTraceDir := flag.String("record-trace", "", "record every workload's instruction stream under this directory and exit without running experiments")
 	replayTraceDir := flag.String("replay-trace", "", "replay recorded instruction streams from this directory instead of generating workloads")
 	flag.Parse()
@@ -223,6 +230,46 @@ func main() {
 			}
 			opts.Specs[s.Name] = s
 		}
+	}
+	if *policySpecs != "" {
+		for _, path := range strings.Split(*policySpecs, ",") {
+			s, err := policy.LoadFile(strings.TrimSpace(path))
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+				os.Exit(2)
+			}
+			opts.PolicySpecs = append(opts.PolicySpecs, s)
+		}
+	}
+	opts.CounterfactualK = *cfK
+	if *searchN > 0 {
+		searchBenches := opts.Benchmarks
+		if len(searchBenches) == 0 {
+			searchBenches = workload.Benchmarks()
+		}
+		lb, err := policy.Search(policy.SearchOptions{
+			Seed:         *seed,
+			Population:   *searchN,
+			Benchmarks:   searchBenches,
+			Window:       opts.Window,
+			WorkloadSeed: *seed,
+			Runner:       rn,
+			Progress: func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, "experiments: search: "+format+"\n", args...)
+			},
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: search: %v\n", err)
+			os.Exit(1)
+		}
+		if err := lb.WriteCSV(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: search: %v\n", err)
+			os.Exit(1)
+		}
+		st := rn.Stats()
+		fmt.Fprintf(os.Stderr, "experiments: search: %d candidates, %d simulator runs, %d cache hits\n",
+			len(lb.Entries), st.Runs, st.CacheHits)
+		return
 	}
 	if *recordTraceDir != "" {
 		n, err := experiments.RecordTraces(opts, *recordTraceDir, 0)

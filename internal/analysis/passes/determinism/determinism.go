@@ -45,6 +45,7 @@ var SimPackages = []string{
 	"clustersim/internal/isa",
 	"clustersim/internal/spec",
 	"clustersim/internal/trace",
+	"clustersim/internal/policy",
 }
 
 // IsSimPackage reports whether an import path is subject to the

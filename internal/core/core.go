@@ -63,9 +63,6 @@ type intervalMeter struct {
 }
 
 func (m *intervalMeter) observe(ev pipeline.CommitEvent) {
-	if m.instrs == 0 && m.startCycle == 0 {
-		m.startCycle = ev.Cycle
-	}
 	m.instrs++
 	if ev.IsBranch || ev.IsCall || ev.IsReturn {
 		m.branches++
@@ -79,14 +76,23 @@ func (m *intervalMeter) observe(ev pipeline.CommitEvent) {
 }
 
 func (m *intervalMeter) ipc(now uint64) float64 {
-	d := now - m.startCycle
-	if d == 0 {
-		return 0
+	if now <= m.startCycle {
+		// Degenerate span: the whole interval committed within one cycle
+		// of the boundary. Score it over a single cycle rather than
+		// returning 0, which the phase detectors would misread as a
+		// catastrophic IPC drop.
+		return float64(m.instrs)
 	}
-	return float64(m.instrs) / float64(d)
+	return float64(m.instrs) / float64(now-m.startCycle)
 }
 
-func (m *intervalMeter) reset() { *m = intervalMeter{} }
+// reset clears the meter and anchors the next interval's IPC denominator
+// at the interval boundary. Anchoring at the first commit instead (the
+// old behaviour) hid post-reconfiguration drain stalls from the
+// controllers and inflated first-interval IPC.
+func (m *intervalMeter) reset(boundaryCycle uint64) {
+	*m = intervalMeter{startCycle: boundaryCycle}
+}
 
 // decisionObserver is the controller-side observability hook shared by the
 // reconfiguration policies: it emits decision/interval trace events and

@@ -123,15 +123,19 @@ func (d *DistantILP) OnCommit(ev pipeline.CommitEvent) int {
 		return d.current
 	}
 	ipc := d.meter.ipc(ev.Cycle)
-	branches := float64(d.meter.branches)
-	memrefs := float64(d.meter.memrefs)
+	instrs := d.meter.instrs
+	nbranches := d.meter.branches
+	nmemrefs := d.meter.memrefs
+	branches := float64(nbranches)
+	memrefs := float64(nmemrefs)
 	distant := d.meter.distant
-	d.meter.reset()
+	d.meter.reset(ev.Cycle)
 
 	if d.dobs.enabled() {
 		d.dobs.interval(&obs.Event{Cycle: ev.Cycle, Policy: d.Name(), IPC: ipc,
 			DistantFrac: float64(distant) / float64(d.cfg.Interval),
-			Interval:    d.cfg.Interval, OldActive: d.current, NewActive: d.current})
+			Interval:    d.cfg.Interval, OldActive: d.current, NewActive: d.current,
+			Instrs: instrs, Branches: nbranches, Memrefs: nmemrefs})
 	}
 
 	if d.measuring {
@@ -153,7 +157,8 @@ func (d *DistantILP) OnCommit(ev pipeline.CommitEvent) int {
 		d.dobs.decision(&obs.Event{Cycle: ev.Cycle, Policy: d.Name(),
 			Trigger: trigger, OldActive: old, NewActive: d.current, IPC: ipc,
 			DistantFrac: float64(distant) / float64(d.cfg.Interval),
-			Interval:    d.cfg.Interval})
+			Interval:    d.cfg.Interval,
+			Instrs:      instrs, Branches: nbranches, Memrefs: nmemrefs})
 		return d.current
 	}
 
@@ -170,7 +175,8 @@ func (d *DistantILP) OnCommit(ev pipeline.CommitEvent) int {
 		d.current = d.cfg.Wide
 		d.dobs.decision(&obs.Event{Cycle: ev.Cycle, Policy: d.Name(),
 			Trigger: "phase-change", OldActive: old, NewActive: d.current,
-			IPC: ipc, Interval: d.cfg.Interval})
+			IPC: ipc, Interval: d.cfg.Interval,
+			Instrs: instrs, Branches: nbranches, Memrefs: nmemrefs})
 	}
 	return d.current
 }

@@ -226,19 +226,30 @@ func (e *Explore) observeMacro(ev pipeline.CommitEvent) {
 		delta := e.cfg.MetricDelta * float64(e.cfg.MacroInterval)
 		if math.Abs(branches-e.prevMacroBranches) > delta ||
 			math.Abs(memrefs-e.prevMacroMemrefs) > delta {
-			// New macrophase: reinitialize everything.
+			// New macrophase: reinitialize the algorithm, but carry the
+			// cumulative stats counters through — zeroing them here made
+			// PhaseChanges()/Explorations() (and anything derived from
+			// them, like reconfig-churn rates) undercount on every run
+			// crossing a macrophase boundary.
 			e.macrophases++
 			cur := e.current
 			macro := e.macrophases
 			cfg := e.cfg
 			total := e.total
 			dobs := e.dobs
+			phases := e.phaseChanges
+			explos := e.explorations
+			growth := e.intervalGrowth
 			*e = Explore{cfg: cfg, total: total,
 				intervalLength: cfg.InitialInterval,
+				meter:          intervalMeter{startCycle: ev.Cycle},
 				exploreIPC:     make([]float64, len(cfg.Configs)),
 				popularity:     make(map[int]uint64),
 				macrophases:    macro,
 				current:        cur,
+				phaseChanges:   phases,
+				explorations:   explos,
+				intervalGrowth: growth,
 				dobs:           dobs,
 			}
 			e.startExploration()
@@ -256,15 +267,19 @@ func (e *Explore) observeMacro(ev pipeline.CommitEvent) {
 // endInterval runs the Figure 4 decision logic at an interval boundary.
 func (e *Explore) endInterval(now uint64) {
 	ipc := e.meter.ipc(now)
-	branches := float64(e.meter.branches)
-	memrefs := float64(e.meter.memrefs)
-	distantFrac := float64(e.meter.distant) / float64(e.meter.instrs)
-	e.meter.reset()
+	instrs := e.meter.instrs
+	nbranches := e.meter.branches
+	nmemrefs := e.meter.memrefs
+	branches := float64(nbranches)
+	memrefs := float64(nmemrefs)
+	distantFrac := float64(e.meter.distant) / float64(instrs)
+	e.meter.reset(now)
 	e.popularity[e.current] += 1
 	if e.dobs.enabled() {
 		e.dobs.interval(&obs.Event{Cycle: now, Policy: e.Name(), IPC: ipc,
 			DistantFrac: distantFrac, Interval: e.intervalLength,
-			OldActive: e.current, NewActive: e.current})
+			OldActive: e.current, NewActive: e.current,
+			Instrs: instrs, Branches: nbranches, Memrefs: nmemrefs})
 	}
 
 	metricDelta := e.cfg.MetricDelta * float64(e.intervalLength)
@@ -298,14 +313,16 @@ func (e *Explore) endInterval(now uint64) {
 					e.discontinue()
 					e.dobs.decision(&obs.Event{Cycle: now, Policy: e.Name(),
 						Trigger: "discontinued", OldActive: old, NewActive: e.current,
-						IPC: ipc, Interval: e.intervalLength})
+						IPC: ipc, Interval: e.intervalLength,
+						Instrs: instrs, Branches: nbranches, Memrefs: nmemrefs})
 					return
 				}
 			}
 			e.startExploration()
 			e.dobs.decision(&obs.Event{Cycle: now, Policy: e.Name(),
 				Trigger: "phase-change", OldActive: old, NewActive: e.current,
-				IPC: ipc, DistantFrac: distantFrac, Interval: e.intervalLength})
+				IPC: ipc, DistantFrac: distantFrac, Interval: e.intervalLength,
+				Instrs: instrs, Branches: nbranches, Memrefs: nmemrefs})
 			return
 		}
 		if ipcChanged {
@@ -340,7 +357,8 @@ func (e *Explore) endInterval(now uint64) {
 			e.current = e.cfg.Configs[e.exploreIdx]
 			e.dobs.decision(&obs.Event{Cycle: now, Policy: e.Name(),
 				Trigger: "explore-step", OldActive: old, NewActive: e.current,
-				IPC: ipc, Interval: e.intervalLength})
+				IPC: ipc, Interval: e.intervalLength,
+				Instrs: instrs, Branches: nbranches, Memrefs: nmemrefs})
 			return
 		}
 		// Exploration complete: adopt the best configuration and use
@@ -359,7 +377,8 @@ func (e *Explore) endInterval(now uint64) {
 		e.reanchor = true
 		e.dobs.decision(&obs.Event{Cycle: now, Policy: e.Name(),
 			Trigger: "explore-adopt", OldActive: old, NewActive: e.current,
-			IPC: e.refIPC, Interval: e.intervalLength})
+			IPC: e.refIPC, Interval: e.intervalLength,
+			Instrs: instrs, Branches: nbranches, Memrefs: nmemrefs})
 	}
 }
 

@@ -1,0 +1,112 @@
+package core
+
+import (
+	"testing"
+
+	"clustersim/internal/pipeline"
+)
+
+// TestIntervalMeterAnchorsAtBoundary: the IPC denominator must start at the
+// interval boundary passed to reset, not at the interval's first commit, so
+// post-reconfiguration drain stalls (boundary -> first commit) count against
+// the measured IPC.
+func TestIntervalMeterAnchorsAtBoundary(t *testing.T) {
+	var m intervalMeter
+	m.reset(100)
+	// 50 instructions, but the first commit lands only at cycle 150: a
+	// 50-cycle drain stall after the reconfiguration at cycle 100.
+	for i := 0; i < 50; i++ {
+		m.observe(pipeline.CommitEvent{Cycle: 150 + uint64(i)})
+	}
+	got := m.ipc(200)
+	want := 50.0 / 100.0 // 50 instrs over the full 100-cycle span
+	if got != want {
+		t.Fatalf("ipc = %f, want %f (drain stall must be visible)", got, want)
+	}
+}
+
+// TestIntervalMeterDegenerateSpan: a zero- or negative-cycle span must not
+// read as an IPC collapse (the old code returned 0, which the phase
+// detectors treated as a huge IPC drop).
+func TestIntervalMeterDegenerateSpan(t *testing.T) {
+	var m intervalMeter
+	m.reset(500)
+	for i := 0; i < 8; i++ {
+		m.observe(pipeline.CommitEvent{Cycle: 500})
+	}
+	if got := m.ipc(500); got != 8 {
+		t.Fatalf("zero-span ipc = %f, want 8 (scored over one cycle)", got)
+	}
+	if got := m.ipc(499); got != 8 {
+		t.Fatalf("backwards-span ipc = %f, want 8", got)
+	}
+}
+
+// TestIntervalMeterResetClears: reset must zero the counts while anchoring
+// the new boundary.
+func TestIntervalMeterResetClears(t *testing.T) {
+	var m intervalMeter
+	m.reset(0)
+	for i := 0; i < 10; i++ {
+		m.observe(pipeline.CommitEvent{Cycle: uint64(i), IsBranch: true, IsMem: true, Distant: true})
+	}
+	m.reset(10)
+	if m.instrs != 0 || m.branches != 0 || m.memrefs != 0 || m.distant != 0 {
+		t.Fatalf("reset left counts behind: %+v", m)
+	}
+	if m.startCycle != 10 {
+		t.Fatalf("startCycle = %d, want 10", m.startCycle)
+	}
+}
+
+// TestMacrophaseStatsMonotone: PhaseChanges()/Explorations() are cumulative
+// run statistics and must never decrease — in particular not across a
+// macrophase reinit, which used to zero them via *e = Explore{...}.
+func TestMacrophaseStatsMonotone(t *testing.T) {
+	e := NewExplore(ExploreConfig{
+		InitialInterval: 100,
+		MaxInterval:     400,
+		MacroInterval:   50_000,
+	})
+	e.Reset(16)
+	var seq uint64
+	var prevPhases, prevExplos uint64
+	check := func() {
+		if e.PhaseChanges() < prevPhases {
+			t.Fatalf("PhaseChanges went backwards: %d -> %d (seq %d, macrophases %d)",
+				prevPhases, e.PhaseChanges(), seq, e.Macrophases())
+		}
+		if e.Explorations() < prevExplos {
+			t.Fatalf("Explorations went backwards: %d -> %d (seq %d, macrophases %d)",
+				prevExplos, e.Explorations(), seq, e.Macrophases())
+		}
+		prevPhases, prevExplos = e.PhaseChanges(), e.Explorations()
+	}
+	// Phase 1: churn between two branch densities accumulates phase changes
+	// (and eventually discontinues the algorithm).
+	for i := 0; i < 60_000; i++ {
+		every := 10
+		if (seq/150)%2 == 1 {
+			every = 2
+		}
+		e.OnCommit(uniformEvents(every, 3, 0.5, 0)(seq))
+		seq++
+		check()
+	}
+	if prevPhases == 0 || prevExplos == 0 {
+		t.Fatalf("prefix accumulated no stats (phases %d, explorations %d)", prevPhases, prevExplos)
+	}
+	// Phase 2: a drastically different macro profile forces a macrophase
+	// reinit; the cumulative counters must survive it.
+	for i := 0; i < 120_000 && e.Macrophases() == 0; i++ {
+		e.OnCommit(uniformEvents(40, 2, 0.5, 0.9)(seq))
+		seq++
+		check()
+	}
+	if e.Macrophases() == 0 {
+		t.Fatal("no macrophase change driven")
+	}
+	if e.Explorations() < prevExplos || e.Explorations() == 0 {
+		t.Fatalf("explorations lost across macrophase: %d", e.Explorations())
+	}
+}

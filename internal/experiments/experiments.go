@@ -19,6 +19,7 @@ import (
 	"clustersim/internal/check"
 	"clustersim/internal/obs"
 	"clustersim/internal/pipeline"
+	"clustersim/internal/policy"
 	"clustersim/internal/runner"
 	"clustersim/internal/spec"
 	"clustersim/internal/telemetry"
@@ -79,6 +80,15 @@ type Options struct {
 	// instead of one per cell). Optional: without it every replayed run
 	// re-reads its file.
 	TraceCache *TraceCache
+	// PolicySpecs selects the controllers for the "policy" and
+	// "counterfactual" experiments (nil = the paper's controllers). The
+	// first spec is the counterfactual base policy; the rest are the
+	// alternatives.
+	PolicySpecs []*policy.Spec
+	// CounterfactualK bounds how many alternative policies the
+	// "counterfactual" experiment replays against the base policy's
+	// decision trace (0 = 3).
+	CounterfactualK int
 }
 
 func (o Options) seed() uint64 {
@@ -369,6 +379,10 @@ func Registry() map[string]func(Options) ([]*Table, error) {
 		// partitioning proposal.
 		"ext-energy": one(Energy),
 		"ext-smt":    one(SMT),
+		// Policy-as-data extensions (internal/policy): the spec-driven
+		// policy comparison and the decision-trace counterfactual.
+		"policy":         one(PolicyTable),
+		"counterfactual": one(Counterfactual),
 	}
 }
 

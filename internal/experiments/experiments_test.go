@@ -15,7 +15,7 @@ func tinyOpts() Options {
 }
 
 func TestRegistryComplete(t *testing.T) {
-	want := []string{"ablate", "ext-energy", "ext-smt", "fig3", "fig5", "fig6", "fig7", "fig8", "params", "sens", "table3", "table4"}
+	want := []string{"ablate", "counterfactual", "ext-energy", "ext-smt", "fig3", "fig5", "fig6", "fig7", "fig8", "params", "policy", "sens", "table3", "table4"}
 	got := IDs()
 	if len(got) != len(want) {
 		t.Fatalf("IDs: %v", got)

@@ -71,6 +71,13 @@ type Event struct {
 	// Seq and PC identify the instruction behind a redirect or
 	// fine-grained decision.
 	Seq, PC uint64
+	// Instrs, Branches and Memrefs are the measurement context behind a
+	// decision or interval event: the measured window's committed-
+	// instruction, branch and memory-reference counts. Together with IPC
+	// and DistantFrac they carry everything an interval-based controller
+	// consumed when it made the decision, so a decision trace can be
+	// audited — or re-driven against another policy — without the run.
+	Instrs, Branches, Memrefs uint64
 	// Writebacks and DrainCycles describe a decentralized
 	// reconfiguration's cache flush.
 	Writebacks, DrainCycles uint64
@@ -213,6 +220,18 @@ func appendEventJSON(b []byte, ev *Event) []byte {
 	if ev.Seq != 0 {
 		b = append(b, `,"seq":`...)
 		b = strconv.AppendUint(b, ev.Seq, 10)
+	}
+	if ev.Instrs != 0 {
+		b = append(b, `,"instrs":`...)
+		b = strconv.AppendUint(b, ev.Instrs, 10)
+	}
+	if ev.Branches != 0 {
+		b = append(b, `,"branches":`...)
+		b = strconv.AppendUint(b, ev.Branches, 10)
+	}
+	if ev.Memrefs != 0 {
+		b = append(b, `,"memrefs":`...)
+		b = strconv.AppendUint(b, ev.Memrefs, 10)
 	}
 	if ev.PC != 0 {
 		b = append(b, `,"pc":`...)

@@ -1,0 +1,91 @@
+package policy
+
+import (
+	"math"
+
+	"clustersim/internal/energy"
+	"clustersim/internal/pipeline"
+)
+
+// Weights parameterize the multi-objective fitness score:
+//
+//	Score = IPC − EnergyPerInstr·EPI − ChurnPerMInstr·(reconfigs per M instr)
+//
+// IPC is the paper's headline metric; the energy term prices powered
+// cluster-cycles (the leakage §4.2 recovers by disabling clusters) and the
+// churn term prices reconfiguration instability (each applied reconfig
+// costs a drain and, under the decentralized cache, a flush). The default
+// weights keep IPC dominant: a unit of IPC outweighs ~50 energy units per
+// instruction (typical runs spend 8–15) and ~1000 reconfigs per M instr.
+type Weights struct {
+	EnergyPerInstr float64 `json:"energy_per_instr"`
+	ChurnPerMInstr float64 `json:"churn_per_m_instr"`
+}
+
+// DefaultWeights returns the weights described on Weights.
+func DefaultWeights() Weights {
+	return Weights{EnergyPerInstr: 0.02, ChurnPerMInstr: 0.001}
+}
+
+// Fitness is one run's multi-objective evaluation.
+type Fitness struct {
+	IPC            float64 `json:"ipc"`
+	EnergyPerInstr float64 `json:"energy_per_instr"`
+	EDP            float64 `json:"edp"`
+	ChurnPerMInstr float64 `json:"churn_per_m_instr"`
+	Score          float64 `json:"score"`
+}
+
+// Evaluate scores one run result under the given energy model and weights.
+func Evaluate(r pipeline.Result, m energy.Model, w Weights) Fitness {
+	act := energy.Activity{
+		Cycles:               r.Cycles,
+		Instructions:         r.Instructions,
+		PoweredClusterCycles: r.ActiveSum,
+		Hops:                 r.Net.Hops,
+		CacheAccesses:        r.Mem.Loads + r.Mem.Stores,
+	}
+	br := m.Estimate(act)
+	f := Fitness{
+		IPC:            r.IPC(),
+		EnergyPerInstr: br.EnergyPerInstruction(r.Instructions),
+		EDP:            m.EDP(act),
+		ChurnPerMInstr: r.ReconfigsPerMInstr(),
+	}
+	f.Score = f.IPC - w.EnergyPerInstr*f.EnergyPerInstr - w.ChurnPerMInstr*f.ChurnPerMInstr
+	return f
+}
+
+// Aggregate folds per-benchmark fitness values into one candidate-level
+// summary: geometric-mean IPC (the paper's cross-benchmark metric),
+// arithmetic means for energy and churn, and the score recomputed from the
+// aggregates so it stays comparable across candidates evaluated on the
+// same benchmark list.
+func Aggregate(per []Fitness, w Weights) Fitness {
+	if len(per) == 0 {
+		return Fitness{}
+	}
+	logIPC := 0.0
+	var agg Fitness
+	for _, f := range per {
+		if f.IPC <= 0 {
+			logIPC = math.Inf(-1)
+		} else {
+			logIPC += math.Log(f.IPC)
+		}
+		agg.EnergyPerInstr += f.EnergyPerInstr
+		agg.EDP += f.EDP
+		agg.ChurnPerMInstr += f.ChurnPerMInstr
+	}
+	n := float64(len(per))
+	if math.IsInf(logIPC, -1) {
+		agg.IPC = 0
+	} else {
+		agg.IPC = math.Exp(logIPC / n)
+	}
+	agg.EnergyPerInstr /= n
+	agg.EDP /= n
+	agg.ChurnPerMInstr /= n
+	agg.Score = agg.IPC - w.EnergyPerInstr*agg.EnergyPerInstr - w.ChurnPerMInstr*agg.ChurnPerMInstr
+	return agg
+}

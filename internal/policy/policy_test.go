@@ -1,0 +1,161 @@
+package policy
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestFamiliesComplete(t *testing.T) {
+	want := []string{"distant-ilp", "explore", "fine-grain", "static"}
+	if got := Families(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Families() = %v, want %v", got, want)
+	}
+}
+
+func TestPaperSpecsBuild(t *testing.T) {
+	for _, name := range []string{"explore", "distant-ilp", "fine-grain", "fine-grain-cr", "static-4", "static-16"} {
+		s, err := Paper(name)
+		if err != nil {
+			t.Fatalf("Paper(%q): %v", name, err)
+		}
+		ctrl, err := s.Build()
+		if err != nil {
+			t.Fatalf("Paper(%q).Build: %v", name, err)
+		}
+		if ctrl.Name() == "" {
+			t.Fatalf("Paper(%q) controller has empty name", name)
+		}
+	}
+	if _, err := Paper("nonsense"); err == nil {
+		t.Fatal("Paper(nonsense) should fail")
+	}
+	if _, err := Paper("static-0"); err == nil {
+		t.Fatal("Paper(static-0) should fail")
+	}
+}
+
+func TestSerializeParseRoundTrip(t *testing.T) {
+	specs := []*Spec{
+		{Version: Version, Name: FamilyStatic, Params: Params{Clusters: 8}},
+		{Version: Version, Name: FamilyExplore, Doc: "tuned",
+			Params: Params{InitialInterval: 20_000, IPCDelta: 0.35, Configs: []int{4, 8, 16}}},
+		{Version: Version, Name: FamilyDistantILP,
+			Params: Params{Interval: 2_000, DistantThreshold: 1_400, Narrow: 2}},
+		{Version: Version, Name: FamilyFineGrain,
+			Params: Params{EveryNthBranch: 3, Window: 540, WindowDistant: 420, CallReturnOnly: true}},
+	}
+	for _, s := range specs {
+		data, err := s.Serialize()
+		if err != nil {
+			t.Fatalf("%s: Serialize: %v", s.Name, err)
+		}
+		back, err := Parse(data)
+		if err != nil {
+			t.Fatalf("%s: Parse(Serialize): %v\n%s", s.Name, err, data)
+		}
+		if !reflect.DeepEqual(s, back) {
+			t.Fatalf("%s: round trip mismatch:\nhave %+v\nwant %+v", s.Name, back, s)
+		}
+		data2, err := back.Serialize()
+		if err != nil || string(data) != string(data2) {
+			t.Fatalf("%s: serialization not canonical (err %v)", s.Name, err)
+		}
+	}
+}
+
+func TestFingerprintDistinguishesParams(t *testing.T) {
+	a := &Spec{Version: Version, Name: FamilyDistantILP, Params: Params{Interval: 1_000}}
+	b := &Spec{Version: Version, Name: FamilyDistantILP, Params: Params{Interval: 2_000}}
+	fa, err := a.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb, err := b.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fa == fb {
+		t.Fatalf("distinct parameterizations share fingerprint %016x", fa)
+	}
+	fa2, _ := a.Fingerprint()
+	if fa != fa2 {
+		t.Fatalf("fingerprint unstable: %016x then %016x", fa, fa2)
+	}
+	key, err := a.Key()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(key, "policy:") || len(key) != len("policy:")+16 {
+		t.Fatalf("Key() = %q, want policy:<16 hex digits>", key)
+	}
+}
+
+func TestForeignParamsRejected(t *testing.T) {
+	cases := []struct {
+		name string
+		spec Spec
+		want string // substring of the error
+	}{
+		{"explore+interval",
+			Spec{Version: Version, Name: FamilyExplore, Params: Params{Interval: 500}},
+			"interval"},
+		{"static+window",
+			Spec{Version: Version, Name: FamilyStatic, Params: Params{Clusters: 4, Window: 360}},
+			"window"},
+		{"dilp+table",
+			Spec{Version: Version, Name: FamilyDistantILP, Params: Params{TableSize: 1024}},
+			"table_size"},
+		{"finegrain+macro",
+			Spec{Version: Version, Name: FamilyFineGrain, Params: Params{MacroInterval: 1_000_000}},
+			"macro_interval"},
+	}
+	for _, tc := range cases {
+		err := tc.spec.Validate()
+		if err == nil {
+			t.Fatalf("%s: Validate accepted foreign params", tc.name)
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Fatalf("%s: error %q does not name the foreign key %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestParseRejectsMalformed(t *testing.T) {
+	cases := []struct{ name, doc string }{
+		{"unknown field", `{"version":1,"name":"explore","bogus":3}`},
+		{"unknown family", `{"version":1,"name":"oracle"}`},
+		{"bad version", `{"version":7,"name":"explore"}`},
+		{"static clusters", `{"version":1,"name":"static"}`},
+		{"trailing data", `{"version":1,"name":"explore"}{"version":1,"name":"explore"}`},
+	}
+	for _, tc := range cases {
+		if _, err := Parse([]byte(tc.doc)); err == nil {
+			t.Fatalf("%s: Parse accepted %s", tc.name, tc.doc)
+		}
+	}
+}
+
+func TestLoadFileMissing(t *testing.T) {
+	if _, err := LoadFile("/nonexistent/policy.json"); err == nil {
+		t.Fatal("LoadFile on a missing path should fail")
+	}
+}
+
+func TestBuildReturnsFreshInstances(t *testing.T) {
+	s, err := Paper("explore")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := s.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == b {
+		t.Fatal("Build returned the same controller instance twice")
+	}
+}

@@ -1,0 +1,356 @@
+package policy
+
+import (
+	"fmt"
+	"io"
+
+	"clustersim/internal/obs"
+	"clustersim/internal/pipeline"
+	"clustersim/internal/snap"
+)
+
+// Commit-event flag bits in DecisionTrace.flags.
+const (
+	flagBranch = 1 << iota
+	flagCall
+	flagReturn
+	flagMem
+	flagDistant
+	flagMispredicted
+)
+
+// traceVersion is the decision-trace serialization version.
+const traceVersion = 1
+
+// Decision is one change in a controller's desired active-cluster count:
+// at the commit of instruction Seq (cycle Cycle) the controller began
+// requesting Active clusters. The first Decision of a trace is the
+// controller's initial request.
+type Decision struct {
+	Seq    uint64 `json:"seq"`
+	Cycle  uint64 `json:"cycle"`
+	Active int    `json:"active"`
+}
+
+// DecisionTrace is the record of everything one run's controller saw and
+// decided: the full committed-instruction event stream (the controller's
+// entire input — commit cycle, PC and classification flags per
+// instruction) plus the decision sequence it produced. Replay feeds the
+// stream to another controller, answering "what would policy B have
+// decided at every point of this exact run?" without re-simulating.
+//
+// The replayed decisions are exact with respect to the recorded stream;
+// they are counterfactual in that an alternative policy's decisions would
+// have changed the machine's timing (and so the stream itself). Exact
+// counterfactual scoring therefore re-simulates through the runner pool;
+// replay is the cheap first pass that needs no simulation at all.
+type DecisionTrace struct {
+	// Bench, Seed and Window identify the recorded run's workload.
+	Bench  string
+	Seed   uint64
+	Window uint64
+	// Policy is the recorded controller's Name(); PolicyFP is its
+	// spec fingerprint (0 when recorded from a bare controller).
+	Policy   string
+	PolicyFP uint64
+	// ConfigFP is the machine configuration's fingerprint
+	// (pipeline.Config.Fingerprint), guarding against replaying a trace
+	// against results from a different machine.
+	ConfigFP uint64
+	// TotalClusters is the machine's cluster count, passed to
+	// Controller.Reset on replay.
+	TotalClusters int
+
+	// The committed-instruction stream, columnar: cycles/seqs/pcs/flags
+	// hold one entry per commit.
+	cycles []uint64
+	seqs   []uint64
+	pcs    []uint64
+	flags  []uint8
+
+	// Decisions is the recorded controller's decision sequence.
+	Decisions []Decision
+
+	// lastWant tracks the recorder's previous desired count so only
+	// changes append to Decisions.
+	lastWant int //simlint:nostate transient recording cursor, meaningless after the run
+}
+
+// Len returns the number of recorded commit events.
+func (t *DecisionTrace) Len() int { return len(t.cycles) }
+
+// Event reconstructs the i-th recorded commit event.
+func (t *DecisionTrace) Event(i int) pipeline.CommitEvent {
+	fl := t.flags[i]
+	return pipeline.CommitEvent{
+		Cycle:        t.cycles[i],
+		Seq:          t.seqs[i],
+		PC:           t.pcs[i],
+		IsBranch:     fl&flagBranch != 0,
+		IsCall:       fl&flagCall != 0,
+		IsReturn:     fl&flagReturn != 0,
+		IsMem:        fl&flagMem != 0,
+		Distant:      fl&flagDistant != 0,
+		Mispredicted: fl&flagMispredicted != 0,
+	}
+}
+
+// clear drops the recorded stream (keeps the header).
+func (t *DecisionTrace) clear() {
+	t.cycles = t.cycles[:0]
+	t.seqs = t.seqs[:0]
+	t.pcs = t.pcs[:0]
+	t.flags = t.flags[:0]
+	t.Decisions = t.Decisions[:0]
+	t.lastWant = 0
+}
+
+// record appends one commit event and the controller's response to it.
+func (t *DecisionTrace) record(ev pipeline.CommitEvent, want int) {
+	var fl uint8
+	if ev.IsBranch {
+		fl |= flagBranch
+	}
+	if ev.IsCall {
+		fl |= flagCall
+	}
+	if ev.IsReturn {
+		fl |= flagReturn
+	}
+	if ev.IsMem {
+		fl |= flagMem
+	}
+	if ev.Distant {
+		fl |= flagDistant
+	}
+	if ev.Mispredicted {
+		fl |= flagMispredicted
+	}
+	t.cycles = append(t.cycles, ev.Cycle)
+	t.seqs = append(t.seqs, ev.Seq)
+	t.pcs = append(t.pcs, ev.PC)
+	t.flags = append(t.flags, fl)
+	if want > 0 && want != t.lastWant {
+		t.Decisions = append(t.Decisions, Decision{Seq: ev.Seq, Cycle: ev.Cycle, Active: want})
+		t.lastWant = want
+	}
+}
+
+// SaveState implements snap.Stater: the trace serializes with the same
+// deterministic fixed-width codec as simulator checkpoints.
+func (t *DecisionTrace) SaveState(w *snap.Writer) {
+	w.Mark("decision-trace")
+	w.Int(traceVersion)
+	w.String(t.Bench)
+	w.U64(t.Seed)
+	w.U64(t.Window)
+	w.String(t.Policy)
+	w.U64(t.PolicyFP)
+	w.U64(t.ConfigFP)
+	w.Int(t.TotalClusters)
+	w.Mark("events")
+	w.U64s(t.cycles)
+	w.U64s(t.seqs)
+	w.U64s(t.pcs)
+	w.U8s(t.flags)
+	w.Mark("decisions")
+	w.U64(uint64(len(t.Decisions)))
+	for _, d := range t.Decisions {
+		w.U64(d.Seq)
+		w.U64(d.Cycle)
+		w.Int(d.Active)
+	}
+}
+
+// LoadState implements snap.Stater.
+func (t *DecisionTrace) LoadState(r *snap.Reader) {
+	r.Mark("decision-trace")
+	if v := r.Int(); r.Err() == nil && v != traceVersion {
+		r.Failf("policy: decision trace version %d (this build reads %d)", v, traceVersion)
+		return
+	}
+	t.Bench = r.String()
+	t.Seed = r.U64()
+	t.Window = r.U64()
+	t.Policy = r.String()
+	t.PolicyFP = r.U64()
+	t.ConfigFP = r.U64()
+	t.TotalClusters = r.Int()
+	r.Mark("events")
+	t.cycles = r.U64s()
+	t.seqs = r.U64s()
+	t.pcs = r.U64s()
+	t.flags = r.U8s()
+	r.Mark("decisions")
+	n := int(r.U64())
+	if r.Err() != nil {
+		return
+	}
+	if n < 0 || n > len(t.cycles)+1 {
+		r.Failf("policy: decision count %d exceeds event count %d", n, len(t.cycles))
+		return
+	}
+	t.Decisions = make([]Decision, n)
+	for i := range t.Decisions {
+		t.Decisions[i] = Decision{Seq: r.U64(), Cycle: r.U64(), Active: r.Int()}
+	}
+	t.lastWant = 0
+	if len(t.cycles) != len(t.seqs) || len(t.cycles) != len(t.pcs) || len(t.cycles) != len(t.flags) {
+		r.Failf("policy: decision trace columns disagree: %d/%d/%d/%d events",
+			len(t.cycles), len(t.seqs), len(t.pcs), len(t.flags))
+	}
+}
+
+// Write serializes the trace to w.
+func (t *DecisionTrace) Write(w io.Writer) error {
+	sw := snap.NewWriter(w)
+	t.SaveState(sw)
+	return sw.Flush()
+}
+
+// ReadTrace deserializes a trace written by Write.
+func ReadTrace(r io.Reader) (*DecisionTrace, error) {
+	sr := snap.NewReader(r)
+	t := &DecisionTrace{}
+	t.LoadState(sr)
+	if err := sr.Err(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+var _ snap.Stater = (*DecisionTrace)(nil)
+
+// Recorder wraps a controller and captures its decision trace. With a nil
+// trace the wrapper is a pure pass-through — one nil test per commit, no
+// allocation — so the hook can stay plumbed in permanently and cost
+// nothing when recording is off.
+//
+// A recording run must not be served from the run cache (set
+// runner.Request.NoCache: the trace is harvested from the instance after
+// the run, which a cache hit would skip).
+type Recorder struct {
+	inner pipeline.Controller
+	trace *DecisionTrace
+}
+
+// NewRecorder wraps inner; events and decisions are appended to trace
+// (nil disables recording).
+func NewRecorder(inner pipeline.Controller, trace *DecisionTrace) *Recorder {
+	return &Recorder{inner: inner, trace: trace}
+}
+
+// Trace returns the recording target (nil when disabled).
+func (r *Recorder) Trace() *DecisionTrace { return r.trace }
+
+// Name implements pipeline.Controller: the wrapper is invisible in results.
+func (r *Recorder) Name() string { return r.inner.Name() }
+
+// Reset implements pipeline.Controller. A fresh run restarts the trace.
+func (r *Recorder) Reset(totalClusters int) {
+	r.inner.Reset(totalClusters)
+	if r.trace != nil {
+		r.trace.TotalClusters = totalClusters
+		r.trace.Policy = r.inner.Name()
+		r.trace.clear()
+	}
+}
+
+// OnCommit implements pipeline.Controller.
+func (r *Recorder) OnCommit(ev pipeline.CommitEvent) int {
+	want := r.inner.OnCommit(ev)
+	if r.trace != nil {
+		r.trace.record(ev, want)
+	}
+	return want
+}
+
+// AttachObserver forwards pipeline.ObserverAware to the wrapped controller.
+func (r *Recorder) AttachObserver(o *obs.Observer) {
+	if oa, ok := r.inner.(pipeline.ObserverAware); ok {
+		oa.AttachObserver(o)
+	}
+}
+
+var (
+	_ pipeline.Controller    = (*Recorder)(nil)
+	_ pipeline.ObserverAware = (*Recorder)(nil)
+)
+
+// ReplayResult is a counterfactual replay's outcome: the decision sequence
+// the candidate controller produced over the recorded stream.
+type ReplayResult struct {
+	// Policy is the replayed controller's Name().
+	Policy string `json:"policy"`
+	// Decisions is the candidate's decision sequence over the stream.
+	Decisions []Decision `json:"decisions"`
+	// Changes counts desired-count changes after the initial choice —
+	// the reconfiguration churn the candidate would have requested.
+	Changes int `json:"changes"`
+	// FinalActive is the candidate's desired count at stream end.
+	FinalActive int `json:"final_active"`
+}
+
+// ChurnPerMInstr returns requested reconfigurations per million recorded
+// instructions.
+func (rr ReplayResult) ChurnPerMInstr(instrs uint64) float64 {
+	if instrs == 0 {
+		return 0
+	}
+	return 1e6 * float64(rr.Changes) / float64(instrs)
+}
+
+// Replay re-drives ctrl over the recorded commit stream and returns its
+// decision sequence. ctrl is Reset first; the same policy replayed over
+// its own trace reproduces the recorded Decisions exactly (the oracle
+// TestSelfReplayOracle proves across the benchmark matrix).
+func (t *DecisionTrace) Replay(ctrl pipeline.Controller) ReplayResult {
+	ctrl.Reset(t.TotalClusters)
+	rr := ReplayResult{Policy: ctrl.Name()}
+	last := 0
+	for i := 0; i < t.Len(); i++ {
+		if want := ctrl.OnCommit(t.Event(i)); want > 0 && want != last {
+			rr.Decisions = append(rr.Decisions, Decision{Seq: t.seqs[i], Cycle: t.cycles[i], Active: want})
+			last = want
+		}
+	}
+	rr.FinalActive = last
+	if n := len(rr.Decisions); n > 1 {
+		rr.Changes = n - 1
+	}
+	return rr
+}
+
+// Agreement returns the fraction of recorded instructions over which the
+// two decision sequences request the same active-cluster count. Both
+// sequences must come from the same trace (same Seq space); sequences are
+// compared as step functions over [firstSeq, lastSeq].
+func (t *DecisionTrace) Agreement(a, b []Decision) float64 {
+	if t.Len() == 0 {
+		return 1
+	}
+	ai, bi := 0, 0
+	aCur, bCur := 0, 0
+	agree := uint64(0)
+	for i := 0; i < t.Len(); i++ {
+		seq := t.seqs[i]
+		for ai < len(a) && a[ai].Seq <= seq {
+			aCur = a[ai].Active
+			ai++
+		}
+		for bi < len(b) && b[bi].Seq <= seq {
+			bCur = b[bi].Active
+			bi++
+		}
+		if aCur == bCur {
+			agree++
+		}
+	}
+	return float64(agree) / float64(t.Len())
+}
+
+// Describe returns a one-line header summary for logs and CLIs.
+func (t *DecisionTrace) Describe() string {
+	return fmt.Sprintf("%s seed=%d window=%d policy=%s events=%d decisions=%d",
+		t.Bench, t.Seed, t.Window, t.Policy, t.Len(), len(t.Decisions))
+}

@@ -1,0 +1,215 @@
+package policy
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"clustersim/internal/pipeline"
+	"clustersim/internal/rng"
+)
+
+// synthEvents builds a deterministic commit stream with a monotone clock and
+// enough branch/memory/distant variety to exercise every controller family.
+func synthEvents(n int, seed uint64) []pipeline.CommitEvent {
+	r := rng.New(seed)
+	evs := make([]pipeline.CommitEvent, n)
+	cycle := uint64(0)
+	for i := range evs {
+		cycle += 1 + uint64(r.Intn(3))
+		isBranch := r.Bool(0.2)
+		evs[i] = pipeline.CommitEvent{
+			Cycle:        cycle,
+			Seq:          uint64(i + 1),
+			PC:           0x1000 + uint64(r.Intn(64))*4,
+			IsBranch:     isBranch,
+			IsCall:       isBranch && r.Bool(0.2),
+			IsMem:        !isBranch && r.Bool(0.4),
+			Distant:      r.Bool(0.5),
+			Mispredicted: isBranch && r.Bool(0.1),
+		}
+		if evs[i].IsCall {
+			evs[i].IsReturn = false
+		} else if isBranch {
+			evs[i].IsReturn = r.Bool(0.2)
+		}
+	}
+	return evs
+}
+
+// recordSynthetic drives spec's controller over a synthetic stream through a
+// Recorder and returns the captured trace.
+func recordSynthetic(t *testing.T, spec *Spec, evs []pipeline.CommitEvent) *DecisionTrace {
+	t.Helper()
+	ctrl, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp, err := spec.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace := &DecisionTrace{Bench: "synthetic", Seed: 7, Window: uint64(len(evs)), PolicyFP: fp}
+	rec := NewRecorder(ctrl, trace)
+	rec.Reset(16)
+	for _, ev := range evs {
+		rec.OnCommit(ev)
+	}
+	return trace
+}
+
+func dynamicSpecs(t *testing.T) []*Spec {
+	t.Helper()
+	var specs []*Spec
+	for _, name := range []string{"explore", "distant-ilp", "fine-grain"} {
+		s, err := Paper(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		specs = append(specs, s)
+	}
+	return specs
+}
+
+func TestRecorderCapturesStreamAndDecisions(t *testing.T) {
+	evs := synthEvents(30_000, 11)
+	for _, spec := range dynamicSpecs(t) {
+		trace := recordSynthetic(t, spec, evs)
+		if trace.Len() != len(evs) {
+			t.Fatalf("%s: recorded %d events, want %d", spec.Name, trace.Len(), len(evs))
+		}
+		if len(trace.Decisions) == 0 {
+			t.Fatalf("%s: no decisions recorded over %d events", spec.Name, len(evs))
+		}
+		for i, ev := range evs {
+			if got := trace.Event(i); got != ev {
+				t.Fatalf("%s: event %d reconstructed as %+v, want %+v", spec.Name, i, got, ev)
+			}
+		}
+		// Decisions must be deduplicated: consecutive entries differ.
+		for i := 1; i < len(trace.Decisions); i++ {
+			if trace.Decisions[i].Active == trace.Decisions[i-1].Active {
+				t.Fatalf("%s: decisions %d and %d both request %d clusters",
+					spec.Name, i-1, i, trace.Decisions[i].Active)
+			}
+		}
+	}
+}
+
+func TestSelfReplayReproducesDecisions(t *testing.T) {
+	evs := synthEvents(30_000, 11)
+	for _, spec := range dynamicSpecs(t) {
+		trace := recordSynthetic(t, spec, evs)
+		fresh, err := spec.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		rr := trace.Replay(fresh)
+		if !reflect.DeepEqual(rr.Decisions, trace.Decisions) {
+			t.Fatalf("%s: self-replay diverged:\nrecorded %v\nreplayed %v",
+				spec.Name, trace.Decisions, rr.Decisions)
+		}
+		if trace.Agreement(trace.Decisions, rr.Decisions) != 1 {
+			t.Fatalf("%s: self-agreement below 1", spec.Name)
+		}
+		if rr.FinalActive != trace.Decisions[len(trace.Decisions)-1].Active {
+			t.Fatalf("%s: FinalActive %d, want %d", spec.Name, rr.FinalActive,
+				trace.Decisions[len(trace.Decisions)-1].Active)
+		}
+	}
+}
+
+func TestTraceSerializationRoundTrip(t *testing.T) {
+	evs := synthEvents(5_000, 3)
+	spec, err := Paper("distant-ilp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace := recordSynthetic(t, spec, evs)
+	trace.ConfigFP = 0xdeadbeef
+
+	var buf bytes.Buffer
+	if err := trace.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadTrace(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Bench != trace.Bench || back.Seed != trace.Seed || back.Window != trace.Window ||
+		back.Policy != trace.Policy || back.PolicyFP != trace.PolicyFP ||
+		back.ConfigFP != trace.ConfigFP || back.TotalClusters != trace.TotalClusters {
+		t.Fatalf("header mismatch: %+v vs %+v", back.Describe(), trace.Describe())
+	}
+	if back.Len() != trace.Len() {
+		t.Fatalf("event count %d, want %d", back.Len(), trace.Len())
+	}
+	for i := 0; i < trace.Len(); i++ {
+		if back.Event(i) != trace.Event(i) {
+			t.Fatalf("event %d mismatch", i)
+		}
+	}
+	if !reflect.DeepEqual(back.Decisions, trace.Decisions) {
+		t.Fatal("decision sequence mismatch after round trip")
+	}
+
+	// Truncated data must fail loudly, not return a partial trace.
+	if _, err := ReadTrace(bytes.NewReader(buf.Bytes()[:buf.Len()/2])); err == nil {
+		t.Fatal("ReadTrace accepted truncated data")
+	}
+}
+
+func TestAgreementStepFunctions(t *testing.T) {
+	trace := &DecisionTrace{}
+	for i := 1; i <= 10; i++ {
+		trace.record(pipeline.CommitEvent{Cycle: uint64(i), Seq: uint64(i)}, 0)
+	}
+	a := []Decision{{Seq: 1, Active: 16}}
+	b := []Decision{{Seq: 1, Active: 16}, {Seq: 6, Active: 4}}
+	// a and b agree on seqs 1..5 (16 clusters) and disagree on 6..10.
+	if got := trace.Agreement(a, b); got != 0.5 {
+		t.Fatalf("Agreement = %v, want 0.5", got)
+	}
+	if got := trace.Agreement(b, b); got != 1 {
+		t.Fatalf("self Agreement = %v, want 1", got)
+	}
+}
+
+func TestReplayChurn(t *testing.T) {
+	rr := ReplayResult{Changes: 4}
+	if got := rr.ChurnPerMInstr(2_000_000); got != 2 {
+		t.Fatalf("ChurnPerMInstr = %v, want 2", got)
+	}
+	if got := rr.ChurnPerMInstr(0); got != 0 {
+		t.Fatalf("ChurnPerMInstr(0 instrs) = %v, want 0", got)
+	}
+}
+
+func TestRecorderNilTracePassthrough(t *testing.T) {
+	spec, err := Paper("distant-ilp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inner, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := NewRecorder(inner, nil)
+	rec.Reset(16)
+	ref.Reset(16)
+	if rec.Name() != ref.Name() {
+		t.Fatalf("Recorder name %q, want %q", rec.Name(), ref.Name())
+	}
+	for _, ev := range synthEvents(8_000, 5) {
+		if got, want := rec.OnCommit(ev), ref.OnCommit(ev); got != want {
+			t.Fatalf("seq %d: recorder returned %d, bare controller %d", ev.Seq, got, want)
+		}
+	}
+	if rec.Trace() != nil {
+		t.Fatal("nil-trace recorder grew a trace")
+	}
+}
