@@ -1,11 +1,14 @@
 // Command simlint is the multichecker driver for the simulator's custom
-// static-analysis suite: determinism, snapstate, statsconserve and
-// nopanic (see docs/ANALYSIS.md). It type-checks the module from source —
-// no module downloads, no pre-built export data — and exits nonzero on
-// any finding, so CI can gate merges on it:
+// static-analysis suite: the four syntactic passes (determinism,
+// snapstate, statsconserve, nopanic) and the four dataflow-aware passes
+// (cachekey, hotalloc, syncsafety, errflow) — see docs/ANALYSIS.md. It
+// type-checks the module from source — no module downloads, no pre-built
+// export data — and exits nonzero on any finding, so CI can gate merges
+// on it:
 //
 //	go run ./cmd/simlint ./...
 //	go run ./cmd/simlint -json ./internal/mem ./internal/interconnect
+//	go run ./cmd/simlint -sarif ./... > simlint.sarif
 //
 // Exit codes: 0 clean, 1 findings reported, 2 load or usage error.
 package main
@@ -43,14 +46,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("simlint", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	jsonOut := fs.Bool("json", false, "emit findings as a JSON document on stdout")
+	sarifOut := fs.Bool("sarif", false, "emit findings as a SARIF 2.1.0 document on stdout (for code-scanning upload)")
 	tests := fs.Bool("tests", true, "also analyze _test.go files")
 	dir := fs.String("C", ".", "module root `directory` to analyze")
 	list := fs.Bool("list", false, "list the analyzers in the suite and exit")
 	fs.Usage = func() {
-		fmt.Fprintf(stderr, "usage: simlint [-json] [-tests=false] [-C dir] packages...\n")
+		fmt.Fprintf(stderr, "usage: simlint [-json|-sarif] [-tests=false] [-C dir] packages...\n")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *jsonOut && *sarifOut {
+		fmt.Fprintln(stderr, "simlint: -json and -sarif are mutually exclusive")
 		return 2
 	}
 	if *list {
@@ -81,7 +89,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
-	if *jsonOut {
+	switch {
+	case *jsonOut:
 		rep := report{Findings: []finding{}}
 		for _, d := range diags {
 			rep.Findings = append(rep.Findings, finding{
@@ -98,13 +107,24 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stderr, err)
 			return 2
 		}
-	} else {
+	case *sarifOut:
+		rules := make([]ruleInfo, 0, len(suite.Analyzers))
+		for _, a := range suite.Analyzers {
+			rules = append(rules, ruleInfo{Name: a.Name, Doc: a.Doc})
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(sarifDocument(diags, *dir, rules)); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+	default:
 		for _, d := range diags {
 			fmt.Fprintln(stdout, d)
 		}
 	}
 	if len(diags) > 0 {
-		if !*jsonOut {
+		if !*jsonOut && !*sarifOut {
 			fmt.Fprintf(stderr, "simlint: %d finding(s)\n", len(diags))
 		}
 		return 1

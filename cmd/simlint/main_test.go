@@ -3,11 +3,15 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"flag"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 )
+
+// update rewrites golden files in place instead of diffing against them.
+var update = flag.Bool("update", false, "rewrite golden files")
 
 // writeModule lays out a throwaway module with one library package whose
 // cleanliness is controlled by the caller.
@@ -95,12 +99,96 @@ func TestUsageAndListExitCodes(t *testing.T) {
 	}
 	out.Reset()
 	errBuf.Reset()
+	if code := run([]string{"-json", "-sarif", "./..."}, &out, &errBuf); code != 2 {
+		t.Errorf("-json -sarif: exit %d, want 2", code)
+	}
+	out.Reset()
+	errBuf.Reset()
 	if code := run([]string{"-list"}, &out, &errBuf); code != 0 {
 		t.Errorf("-list: exit %d, want 0", code)
 	}
-	for _, name := range []string{"determinism", "snapstate", "statsconserve", "nopanic"} {
+	for _, name := range []string{
+		"determinism", "snapstate", "statsconserve", "nopanic",
+		"cachekey", "hotalloc", "syncsafety", "errflow",
+	} {
 		if !strings.Contains(out.String(), name) {
 			t.Errorf("-list output missing %s:\n%s", name, out.String())
 		}
+	}
+	if got := strings.Count(strings.TrimSpace(out.String()), "\n") + 1; got != 8 {
+		t.Errorf("-list printed %d analyzers, want 8:\n%s", got, out.String())
+	}
+}
+
+// TestSARIFOutput validates -sarif against the golden document and the
+// SARIF 2.1.0 required-property skeleton. The golden is byte-exact: file
+// URIs are root-relative (not tempdir-absolute), so the document is
+// reproducible across machines.
+func TestSARIFOutput(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	dirty := writeModule(t, dirtySrc)
+	if code := run([]string{"-sarif", "-C", dirty, "./..."}, &out, &errBuf); code != 1 {
+		t.Fatalf("exit %d, want 1; stderr: %s", code, errBuf.String())
+	}
+
+	// Schema skeleton: unmarshal generically and check every property the
+	// 2.1.0 schema marks required on the path to a result location.
+	var doc map[string]any
+	if err := json.Unmarshal(out.Bytes(), &doc); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, out.String())
+	}
+	if doc["version"] != "2.1.0" {
+		t.Errorf("version = %v, want 2.1.0", doc["version"])
+	}
+	if s, _ := doc["$schema"].(string); !strings.Contains(s, "sarif-2.1.0") {
+		t.Errorf("$schema = %v", doc["$schema"])
+	}
+	runs, ok := doc["runs"].([]any)
+	if !ok || len(runs) != 1 {
+		t.Fatalf("runs = %v, want one run", doc["runs"])
+	}
+	run0 := runs[0].(map[string]any)
+	driver := run0["tool"].(map[string]any)["driver"].(map[string]any)
+	if driver["name"] != "simlint" {
+		t.Errorf("driver name = %v", driver["name"])
+	}
+	if rules, ok := driver["rules"].([]any); !ok || len(rules) != 8 {
+		t.Errorf("driver rules = %v, want the full 8-pass inventory", driver["rules"])
+	}
+	results, ok := run0["results"].([]any)
+	if !ok || len(results) != 1 {
+		t.Fatalf("results = %v, want one", run0["results"])
+	}
+	res := results[0].(map[string]any)
+	if res["ruleId"] != "nopanic" || res["level"] != "error" {
+		t.Errorf("result = %+v", res)
+	}
+	if _, ok := res["message"].(map[string]any)["text"].(string); !ok {
+		t.Errorf("result message missing text: %+v", res["message"])
+	}
+	loc := res["locations"].([]any)[0].(map[string]any)["physicalLocation"].(map[string]any)
+	if uri := loc["artifactLocation"].(map[string]any)["uri"]; uri != "lib/lib.go" {
+		t.Errorf("artifact uri = %v, want lib/lib.go", uri)
+	}
+	if line := loc["region"].(map[string]any)["startLine"]; line != float64(5) {
+		t.Errorf("startLine = %v, want 5", line)
+	}
+
+	// Byte-exact golden (refresh with -run TestSARIFOutput -update).
+	golden := filepath.Join("testdata", "dirty.sarif.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, out.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out.Bytes(), want) {
+		t.Errorf("SARIF output differs from golden %s:\n got: %s\nwant: %s", golden, out.String(), want)
 	}
 }

@@ -1,0 +1,128 @@
+package main
+
+import (
+	"path/filepath"
+	"strings"
+
+	"clustersim/internal/analysis"
+)
+
+// SARIF 2.1.0 document types — the subset GitHub code scanning consumes.
+// Hand-rolled (stdlib-only) but schema-faithful: sarifReport marshals to a
+// document that validates against the official JSON schema (the golden
+// test checks the required-property skeleton).
+
+type sarifReport struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri,omitempty"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysicalLocation `json:"physicalLocation"`
+}
+
+type sarifPhysicalLocation struct {
+	ArtifactLocation sarifArtifactLocation `json:"artifactLocation"`
+	Region           sarifRegion           `json:"region"`
+}
+
+type sarifArtifactLocation struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+const sarifSchemaURI = "https://json.schemastore.org/sarif-2.1.0.json"
+
+// sarifDocument renders the diagnostics as one SARIF run. Rules cover the
+// full suite (not just the analyzers that fired) so code-scanning UIs can
+// show the complete rule inventory; file paths are made repo-relative to
+// root when possible, since SARIF artifact URIs are repository-rooted.
+func sarifDocument(diags []analysis.Diagnostic, root string, rules []ruleInfo) sarifReport {
+	srules := make([]sarifRule, 0, len(rules))
+	for _, r := range rules {
+		srules = append(srules, sarifRule{
+			ID:               r.Name,
+			ShortDescription: sarifMessage{Text: r.Doc},
+		})
+	}
+	results := make([]sarifResult, 0, len(diags))
+	for _, d := range diags {
+		results = append(results, sarifResult{
+			RuleID:  d.Analyzer,
+			Level:   "error",
+			Message: sarifMessage{Text: d.Message},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysicalLocation{
+					ArtifactLocation: sarifArtifactLocation{URI: sarifURI(d.Pos.Filename, root)},
+					Region: sarifRegion{
+						StartLine:   d.Pos.Line,
+						StartColumn: d.Pos.Column,
+					},
+				},
+			}},
+		})
+	}
+	return sarifReport{
+		Schema:  sarifSchemaURI,
+		Version: "2.1.0",
+		Runs: []sarifRun{{
+			Tool:    sarifTool{Driver: sarifDriver{Name: "simlint", Rules: srules}},
+			Results: results,
+		}},
+	}
+}
+
+// ruleInfo names one analyzer for the SARIF rule inventory.
+type ruleInfo struct {
+	Name string
+	Doc  string
+}
+
+// sarifURI converts a diagnostic's file path to a forward-slashed URI,
+// relative to the analysis root when the file lies under it.
+func sarifURI(file, root string) string {
+	if root != "" {
+		if abs, err := filepath.Abs(root); err == nil {
+			if rel, err := filepath.Rel(abs, file); err == nil && !strings.HasPrefix(rel, "..") {
+				return filepath.ToSlash(rel)
+			}
+		}
+	}
+	return filepath.ToSlash(file)
+}

@@ -10,14 +10,21 @@
 //
 //	//simlint:allow <rule> <reason>
 //	//simlint:nostate <reason>
+//	//simlint:nokey <reason>
+//	//simlint:alloc <reason>
+//	//simlint:hot [note]
 //
 // An allow comment suppresses diagnostics of analyzer <rule> on its own
 // line, or — when it stands alone on a line — on the line directly below
-// it. A nostate comment exempts a struct field from the snapstate pass (it
-// is read by that pass, not by the generic suppression machinery). Both
-// forms require a non-empty reason; a malformed annotation is itself
-// reported, under the reserved rule name "simlint", and cannot be
-// suppressed.
+// it. A nostate comment exempts a struct field from the snapstate pass, a
+// nokey comment exempts a struct field from the cachekey pass, and an
+// alloc comment suppresses the hotalloc pass on its line (shorthand for
+// //simlint:allow hotalloc). A hot comment marks the function declared on
+// (or directly below) its line as a hot-path root for the hotalloc pass;
+// it designates rather than suppresses, so its trailing note is optional.
+// Every suppressing form requires a non-empty reason; a malformed
+// annotation is itself reported, under the reserved rule name "simlint",
+// and cannot be suppressed.
 package analysis
 
 import (
@@ -87,7 +94,7 @@ const AnnotationPrefix = "//simlint:"
 
 // An annotation is one parsed //simlint: comment.
 type annotation struct {
-	verb   string // "allow" or "nostate"
+	verb   string // "allow", "nostate", "nokey", "alloc" or "hot"
 	rule   string // analyzer name (allow only)
 	reason string
 	pos    token.Position
@@ -115,24 +122,34 @@ func parseAnnotation(text string) (verb, rule, reason string, ok bool, err error
 				"simlint:allow needs a rule and a reason: //simlint:allow <rule> <reason>")
 		}
 		return "allow", fields[1], strings.Join(fields[2:], " "), true, nil
-	case "nostate":
+	case "nostate", "nokey", "alloc":
 		if len(fields) < 2 {
 			return "", "", "", true, fmt.Errorf(
-				"simlint:nostate needs a reason: //simlint:nostate <reason>")
+				"simlint:%s needs a reason: //simlint:%s <reason>", fields[0], fields[0])
 		}
-		return "nostate", "", strings.Join(fields[1:], " "), true, nil
+		return fields[0], "", strings.Join(fields[1:], " "), true, nil
+	case "hot":
+		// A designation, not a suppression: the note is optional.
+		return "hot", "", strings.Join(fields[1:], " "), true, nil
 	default:
-		return "", "", "", true, fmt.Errorf("unknown simlint annotation %q (want allow or nostate)", fields[0])
+		return "", "", "", true, fmt.Errorf(
+			"unknown simlint annotation %q (want allow, nostate, nokey, alloc or hot)", fields[0])
 	}
 }
 
 // annotationIndex holds every well-formed annotation of a unit, keyed for
-// the two lookups passes need: allow-by-line and nostate-by-line.
+// the lookups passes need: allow-by-line, field exemptions by line, and
+// hot-root designations by line.
 type annotationIndex struct {
 	// allow maps file:line to the set of allowed rules there.
 	allow map[string]map[string]bool
 	// nostate maps file:line to the exemption reason.
 	nostate map[string]string
+	// nokey maps file:line to the cachekey exemption reason.
+	nokey map[string]string
+	// hot maps file:line to true where a //simlint:hot marker designates
+	// the function declared there as a hot-path root.
+	hot map[string]bool
 	// malformed collects broken annotations as diagnostics.
 	malformed []Diagnostic
 }
@@ -146,6 +163,8 @@ func indexAnnotations(fset *token.FileSet, files []*ast.File) *annotationIndex {
 	ix := &annotationIndex{
 		allow:   make(map[string]map[string]bool),
 		nostate: make(map[string]string),
+		nokey:   make(map[string]string),
+		hot:     make(map[string]bool),
 	}
 	for _, f := range files {
 		for _, cg := range f.Comments {
@@ -176,8 +195,19 @@ func indexAnnotations(fset *token.FileSet, files []*ast.File) *annotationIndex {
 							ix.allow[key] = make(map[string]bool)
 						}
 						ix.allow[key][rule] = true
+					case "alloc":
+						// Per-site hotalloc opt-out: shorthand for
+						// //simlint:allow hotalloc <reason>.
+						if ix.allow[key] == nil {
+							ix.allow[key] = make(map[string]bool)
+						}
+						ix.allow[key]["hotalloc"] = true
 					case "nostate":
 						ix.nostate[key] = reason
+					case "nokey":
+						ix.nokey[key] = reason
+					case "hot":
+						ix.hot[key] = true
 					}
 				}
 			}
@@ -219,6 +249,22 @@ func (p *Pass) Nostate(pos token.Pos) (string, bool) {
 	position := p.Fset.Position(pos)
 	reason, ok := p.annotations().nostate[lineKey(position.Filename, position.Line)]
 	return reason, ok
+}
+
+// Nokey reports whether the line holding pos carries a //simlint:nokey
+// exemption (a field deliberately excluded from its struct's cache-key
+// fingerprint), and returns its reason.
+func (p *Pass) Nokey(pos token.Pos) (string, bool) {
+	position := p.Fset.Position(pos)
+	reason, ok := p.annotations().nokey[lineKey(position.Filename, position.Line)]
+	return reason, ok
+}
+
+// HotRoot reports whether the line holding pos carries a //simlint:hot
+// designation (the hotalloc pass roots its call-graph closure there).
+func (p *Pass) HotRoot(pos token.Pos) bool {
+	position := p.Fset.Position(pos)
+	return p.annotations().hot[lineKey(position.Filename, position.Line)]
 }
 
 // annotations lazily builds the unit's annotation index. The index is

@@ -1,0 +1,12 @@
+package cachekey_test
+
+import (
+	"testing"
+
+	"clustersim/internal/analysis/analysistest"
+	"clustersim/internal/analysis/passes/cachekey"
+)
+
+func TestCacheKey(t *testing.T) {
+	analysistest.Run(t, "testdata", cachekey.Analyzer, "keys")
+}

@@ -1,0 +1,83 @@
+// Package keys is the cachekey fixture corpus.
+package keys
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+)
+
+// Explicit per-field folds: every field must be read somewhere in the
+// closure of the fingerprint.
+type PerField struct {
+	A int
+	B string
+	C int // want `field PerField.C does not flow into the Fingerprint cache-key hash`
+	D int //simlint:nokey attribution-only knob, never influences results
+}
+
+func (p PerField) Fingerprint() uint64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d", p.A)
+	foldB(h2str(p.B))
+	return h.Sum64()
+}
+
+// foldB is a same-package helper: the closure walk must see the read of B
+// through it (here the read happens at the call site already; the helper
+// exists to prove closure traversal does not error on free functions).
+func foldB(s string) {}
+
+func h2str(s string) string { return s }
+
+// Exclusion idiom: fields zeroed on a local copy before the whole-value
+// hash do not flow; fields re-read on the original do.
+type CopyZero struct {
+	Kept    int
+	Pointer *int
+	Skipped bool // want `field CopyZero.Skipped does not flow into the Fingerprint cache-key hash`
+}
+
+func (c CopyZero) Fingerprint() uint64 {
+	h := fnv.New64a()
+	cc := c
+	cc.Pointer = nil
+	cc.Skipped = false
+	fmt.Fprintf(h, "%+v", cc)
+	if c.Pointer != nil {
+		fmt.Fprintf(h, "|%d", *c.Pointer)
+	}
+	return h.Sum64()
+}
+
+// Marshal-based fingerprints cover exported fields only — reflection never
+// reads unexported fields or `json:"-"`.
+type Marshaled struct {
+	Name   string `json:"name"`
+	Doc    string `json:"doc,omitempty"`
+	Secret string `json:"-"` // want `field Marshaled.Secret does not flow into the Fingerprint cache-key hash`
+	hidden int    // want `field Marshaled.hidden does not flow into the Fingerprint cache-key hash`
+}
+
+func (m *Marshaled) Fingerprint() (uint64, error) {
+	data, err := json.Marshal(m)
+	if err != nil {
+		return 0, err
+	}
+	h := fnv.New64a()
+	h.Write(data)
+	return h.Sum64(), nil
+}
+
+// A method that shares a recognized name but not the shape (parameters, a
+// non-hash result) is not a cache key; the struct stays unchecked.
+type NotAKey struct {
+	Ignored int
+}
+
+func (n NotAKey) Key() int { return n.Ignored }
+
+// A struct without any cache-key method is never checked.
+type Plain struct {
+	Whatever int
+}

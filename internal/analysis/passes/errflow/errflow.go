@@ -1,0 +1,160 @@
+// Package errflow forbids silently dropped errors at the call sites where
+// the simulator loses data when one is dropped: Run (a simulation that
+// failed but whose absence of a Result goes unnoticed), Save*/Load* (the
+// persisted cache and snapshot codecs — a short write here IS the
+// corruption PR 4's recovery machinery exists to catch) and Write* (the
+// underlying stream operations). A discarded error from any of these turns
+// a detectable failure into wrong published numbers.
+//
+// A call site is checked when the callee's name is Run or starts with
+// Save, Load or Write, and its final result is an error. It is reported
+// when that error does not reach a named variable: the call stands alone
+// as a statement, runs behind go or defer, or assigns the error position
+// to the blank identifier.
+//
+// Writers that structurally cannot fail are exempt by type, not by
+// annotation: methods on bytes.Buffer, strings.Builder and the hash
+// interfaces document that they never return a non-nil error, and forcing
+// `_, _ =` noise there would teach readers to ignore the pass. Everything
+// else opts out per line with //simlint:allow errflow <reason>.
+package errflow
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"clustersim/internal/analysis"
+)
+
+// Analyzer is the errflow pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "errflow",
+	Doc: "errors returned by Run, Save*, Load* and Write* call sites " +
+		"must not be discarded",
+	Run: run,
+}
+
+// checkedName reports whether a callee name is in the audited family.
+func checkedName(name string) bool {
+	return name == "Run" ||
+		strings.HasPrefix(name, "Save") ||
+		strings.HasPrefix(name, "Load") ||
+		strings.HasPrefix(name, "Write")
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := n.X.(*ast.CallExpr); ok {
+					checkDiscard(pass, call, "discarded")
+				}
+			case *ast.GoStmt:
+				checkDiscard(pass, n.Call, "discarded by go statement")
+			case *ast.DeferStmt:
+				checkDiscard(pass, n.Call, "discarded by defer")
+			case *ast.AssignStmt:
+				checkAssign(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkDiscard handles a call whose results are all dropped.
+func checkDiscard(pass *analysis.Pass, call *ast.CallExpr, how string) {
+	name, ok := auditedCall(pass, call)
+	if !ok {
+		return
+	}
+	pass.Reportf(call.Pos(),
+		"error returned by %s is %s; handle it or annotate "+
+			"//simlint:allow errflow <reason>", name, how)
+}
+
+// checkAssign reports an audited call whose error position lands in the
+// blank identifier.
+func checkAssign(pass *analysis.Pass, as *ast.AssignStmt) {
+	if len(as.Rhs) != 1 {
+		return
+	}
+	call, ok := as.Rhs[0].(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	name, ok := auditedCall(pass, call)
+	if !ok {
+		return
+	}
+	// The error is the final result, so it lands in the final LHS.
+	last, ok := as.Lhs[len(as.Lhs)-1].(*ast.Ident)
+	if !ok || last.Name != "_" {
+		return
+	}
+	pass.Reportf(call.Pos(),
+		"error returned by %s is assigned to _; handle it or annotate "+
+			"//simlint:allow errflow <reason>", name)
+}
+
+// auditedCall reports whether call targets an audited function whose last
+// result is an error, and returns a human-readable callee name.
+func auditedCall(pass *analysis.Pass, call *ast.CallExpr) (string, bool) {
+	var id *ast.Ident
+	var recvExpr ast.Expr
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+		recvExpr = fun.X
+	default:
+		return "", false
+	}
+	if !checkedName(id.Name) {
+		return "", false
+	}
+	obj, ok := pass.Info.Uses[id].(*types.Func)
+	if !ok {
+		return "", false
+	}
+	sig, ok := obj.Type().(*types.Signature)
+	if !ok {
+		return "", false
+	}
+	res := sig.Results()
+	if res.Len() == 0 || !isError(res.At(res.Len()-1).Type()) {
+		return "", false
+	}
+	if recvExpr != nil && neverFails(pass.TypeOf(recvExpr)) {
+		return "", false
+	}
+	return obj.Name(), true
+}
+
+func isError(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Pkg() == nil && named.Obj().Name() == "error"
+}
+
+// neverFails exempts method families documented to always return a nil
+// error, judged by the static type of the receiver expression at the call
+// site: bytes.Buffer, strings.Builder, and the hash package interfaces.
+func neverFails(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	path, name := named.Obj().Pkg().Path(), named.Obj().Name()
+	return (path == "bytes" && name == "Buffer") ||
+		(path == "strings" && name == "Builder") ||
+		path == "hash"
+}

@@ -1,0 +1,12 @@
+package errflow_test
+
+import (
+	"testing"
+
+	"clustersim/internal/analysis/analysistest"
+	"clustersim/internal/analysis/passes/errflow"
+)
+
+func TestErrFlow(t *testing.T) {
+	analysistest.Run(t, "testdata", errflow.Analyzer, "errs")
+}

@@ -1,0 +1,59 @@
+// Package errs is the errflow fixture corpus.
+package errs
+
+import (
+	"bytes"
+	"hash/fnv"
+	"strings"
+)
+
+type sim struct{}
+
+func (s *sim) Run() error                  { return nil }
+func (s *sim) SaveState(path string) error { return nil }
+func (s *sim) Render() error               { return nil }
+
+type sink struct{}
+
+func (k *sink) Write(p []byte) (int, error) { return len(p), nil }
+
+func LoadAll(dir string) ([]int, error) { return nil, nil }
+
+func use() {
+	s := &sim{}
+	k := &sink{}
+
+	s.Run() // want `error returned by Run is discarded`
+
+	if err := s.Run(); err != nil { // handled: no report
+		_ = err
+	}
+
+	s.SaveState("x") // want `error returned by SaveState is discarded`
+
+	go s.Run()    // want `error returned by Run is discarded by go statement`
+	defer s.Run() // want `error returned by Run is discarded by defer`
+
+	_, _ = LoadAll(".") // want `error returned by LoadAll is assigned to _`
+
+	got, _ := LoadAll(".") // want `error returned by LoadAll is assigned to _`
+	_ = got
+
+	k.Write(nil) // want `error returned by Write is discarded`
+
+	n, _ := k.Write(nil) // want `error returned by Write is assigned to _`
+	_ = n
+
+	s.Run() //simlint:allow errflow smoke path, failure surfaces via the exit code
+
+	s.Render() // not an audited name: no report
+
+	// Never-fail writers are exempt by type.
+	var b bytes.Buffer
+	b.Write(nil)
+	b.WriteString("x")
+	var sb strings.Builder
+	sb.WriteString("x")
+	h := fnv.New64a()
+	h.Write(nil)
+}

@@ -1,0 +1,64 @@
+// Package hot is the hotalloc fixture corpus.
+package hot
+
+import "fmt"
+
+type event struct {
+	cycle int
+	kind  int
+}
+
+type core struct {
+	queue   []event
+	lookup  map[int]int
+	scratch []int
+}
+
+//simlint:hot
+func (c *core) step(now int) {
+	c.helper(now)
+
+	e := event{cycle: now} // value literal: stays on the stack, not reported
+	_ = e
+
+	p := &event{cycle: now} // want `composite-literal allocation in hot function step`
+	_ = p
+
+	s := []int{now} // want `composite-literal allocation in hot function step`
+	_ = s
+
+	m := map[int]int{now: 1} // want `composite-literal allocation in hot function step`
+	_ = m
+
+	c.queue = append(c.queue, e) // want `append without presized capacity in hot function step`
+
+	buf := make([]int, 0, 64)
+	buf = append(buf, now) // presized with 3-arg make: not reported
+	_ = buf
+
+	fn := func() int { return now } // want `capturing closure in hot function step`
+	_ = fn
+
+	pure := func(x int) int { return x * 2 } // no captures: not reported
+	_ = pure
+
+	fmt.Println(now) // want `interface conversion in hot function step`
+
+	for k := range c.lookup { // want `map iteration in hot function step`
+		_ = k
+	}
+
+	c.scratch = append(c.scratch, now) //simlint:alloc scratch arena grows once then is reused
+}
+
+// helper is in the closure of step and is checked too.
+func (c *core) helper(now int) {
+	c.queue = append(c.queue, event{cycle: now}) // want `append without presized capacity in hot function helper`
+}
+
+// cold is not reachable from any hot root: allocations are fine here.
+func cold() []int {
+	out := []int{1, 2, 3}
+	out = append(out, 4)
+	return out
+}

@@ -1,0 +1,451 @@
+// Package syncsafety enforces a single synchronization discipline per
+// field in the concurrent packages (the runner's worker pool, telemetry's
+// shared counters, obs's sweep aggregation). A field that is written under
+// a mutex in one function and read plainly in another is a data race the
+// -race detector only catches when the schedule cooperates; the same for a
+// counter bumped through sync/atomic and read bare. This pass makes the
+// discipline a compile-time property: once a field is synchronized — its
+// address passed to sync/atomic, or written while a named mutex of the
+// same object is held — every access to it must be synchronized too.
+//
+// Classification is per function body, flow-insensitive within it:
+//
+//   - an access is ATOMIC when the field's address is an argument to a
+//     sync/atomic function (atomic.AddUint64(&s.hits, 1));
+//   - an access is LOCKED when the enclosing function calls Lock or RLock
+//     on a sync.Mutex or sync.RWMutex reached through the same base
+//     object (r.mu.Lock() makes every r.* access in the body locked,
+//     including nested ones like r.stats.hits), or when the enclosing
+//     method's receiver is lock-inherited: every one of its same-package
+//     call sites invokes it on an object the caller holds locked (the
+//     unexported helper called only from inside the critical section);
+//   - every other access is PLAIN.
+//
+// A field is GUARDED once it has an atomic access or a locked write — a
+// read under an incidentally-held mutex does not make a configuration
+// field guarded. Every plain access to a guarded field is reported, with
+// the synchronized counterpart named so the mixed-access pair is visible
+// in one message.
+//
+// Exemptions, in line with how the races actually cannot happen:
+//
+//   - fields whose type is declared in sync or sync/atomic (sync.Mutex,
+//     atomic.Uint64, ...) — their method sets are safe by construction;
+//   - accesses through a value-typed variable: a struct copy is its own
+//     memory, so reading st.Runs off a Stats snapshot returned by value
+//     cannot race with the guarded original;
+//   - accesses on a function-local object freshly created in the same
+//     body (s := &Stats{...}; s.hits = 0): nothing else can hold a
+//     reference yet, so constructors initialize plainly;
+//   - func init, which runs before main starts any goroutine;
+//   - lines annotated //simlint:allow syncsafety <reason> for the
+//     remainder (a read ordered by a WaitGroup join or channel
+//     happens-before edge the pass cannot see).
+//
+// Only the concurrent packages are checked — see SyncPackages.
+package syncsafety
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"clustersim/internal/analysis"
+	"clustersim/internal/analysis/dataflow"
+)
+
+// SyncPackages lists the import paths (and their subtrees) that run
+// goroutines against shared state. Single-threaded simulation packages
+// are exempt: the core model is sequential by design (PR 1) and plain
+// field access there is correct.
+var SyncPackages = []string{
+	"clustersim/internal/runner",
+	"clustersim/internal/telemetry",
+	"clustersim/internal/obs",
+}
+
+// IsSyncPackage reports whether an import path is subject to the
+// syncsafety rules. It is a variable so tests can substitute fixtures.
+var IsSyncPackage = func(path string) bool {
+	path = strings.TrimSuffix(path, "_test")
+	for _, p := range SyncPackages {
+		if path == p || strings.HasPrefix(path, p+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// Analyzer is the syncsafety pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "syncsafety",
+	Doc: "a field written under a named mutex or accessed via sync/atomic " +
+		"must never be accessed plainly outside initialization",
+	Run: run,
+}
+
+// access is one classified field touch.
+type access struct {
+	pos    token.Pos
+	fn     string // enclosing function name, for the diagnostic
+	write  bool
+	atomic bool
+	locked bool
+	exempt bool // fresh root or value-typed copy
+}
+
+// fnFacts is the per-function classification state.
+type fnFacts struct {
+	decl *ast.FuncDecl
+	// locked is the set of base objects x for which the body calls
+	// x.<mutex>.Lock/RLock, plus the receiver when lock-inherited.
+	locked map[types.Object]bool
+	// recvObj is the declared receiver object, nil for free functions.
+	recvObj types.Object
+	// callers records, per in-unit callee, the receiver base objects this
+	// function invokes it on.
+	calls []callEdge
+}
+
+type callEdge struct {
+	callee *ast.FuncDecl
+	recv   types.Object // base object of the call's receiver chain
+}
+
+func run(pass *analysis.Pass) error {
+	if !IsSyncPackage(pass.Pkg.Path()) {
+		return nil
+	}
+
+	graph := dataflow.NewGraph(pass.Info, pass.Files)
+	facts := make(map[*ast.FuncDecl]*fnFacts)
+	for _, fd := range graph.Decls() {
+		if fd.Body == nil || fd.Name.Name == "init" {
+			continue
+		}
+		facts[fd] = &fnFacts{
+			decl:    fd,
+			locked:  lockRoots(pass.Info, fd),
+			recvObj: receiverObject(pass.Info, fd),
+			calls:   methodCalls(pass.Info, graph, fd),
+		}
+	}
+	propagateLockContexts(facts)
+
+	// Classify every access, grouped per field in deterministic order.
+	accesses := make(map[*types.Var][]access)
+	var fields []*types.Var
+	for _, fd := range graph.Decls() {
+		ff := facts[fd]
+		if ff == nil {
+			continue
+		}
+		fresh := freshLocals(pass.Info, fd)
+		atomicArgs := atomicAddresses(pass.Info, fd)
+		for _, fa := range dataflow.FieldAccesses(pass.Info, fd) {
+			if fromSyncPackage(fa.Field.Type()) {
+				continue
+			}
+			if _, seen := accesses[fa.Field]; !seen {
+				fields = append(fields, fa.Field)
+			}
+			accesses[fa.Field] = append(accesses[fa.Field], access{
+				pos:    fa.Sel.Pos(),
+				fn:     fd.Name.Name,
+				write:  fa.Kind == dataflow.Write,
+				atomic: atomicArgs[fa.Sel],
+				locked: fa.Root != nil && ff.locked[fa.Root],
+				exempt: rvalueBase(pass.Info, fa.Sel.X) ||
+					(fa.Root != nil && (fresh[fa.Root] || valueTyped(fa.Root))),
+			})
+		}
+	}
+	sort.Slice(fields, func(i, j int) bool { return fields[i].Pos() < fields[j].Pos() })
+
+	for _, fld := range fields {
+		var guard *access // the synchronized access named in the pair message
+		for i := range accesses[fld] {
+			a := &accesses[fld][i]
+			if a.atomic || (a.locked && a.write) {
+				guard = a
+				break
+			}
+		}
+		if guard == nil {
+			continue
+		}
+		how := "writes it under a mutex"
+		if guard.atomic {
+			how = "accesses it via sync/atomic"
+		}
+		for _, a := range accesses[fld] {
+			if a.atomic || a.locked || a.exempt {
+				continue
+			}
+			pass.Reportf(a.pos,
+				"plain access to field %s in %s, but %s %s; "+
+					"mixed synchronization is a data race",
+				fld.Name(), a.fn, guard.fn, how)
+		}
+	}
+	return nil
+}
+
+// propagateLockContexts marks a method's receiver as locked when every
+// same-package call site invokes it on an object the caller holds locked.
+// Iterates to a fixpoint so lock context flows through helper chains
+// (Emit -> observeCompletion -> fold...).
+func propagateLockContexts(facts map[*ast.FuncDecl]*fnFacts) {
+	for changed := true; changed; {
+		changed = false
+		// Gather, per callee, the lock state of every call site.
+		type siteInfo struct{ sites, locked int }
+		byCallee := make(map[*ast.FuncDecl]*siteInfo)
+		for _, ff := range facts {
+			for _, e := range ff.calls {
+				si := byCallee[e.callee]
+				if si == nil {
+					si = &siteInfo{}
+					byCallee[e.callee] = si
+				}
+				si.sites++
+				if e.recv != nil && ff.locked[e.recv] {
+					si.locked++
+				}
+			}
+		}
+		for callee, si := range byCallee {
+			ff := facts[callee]
+			if ff == nil || ff.recvObj == nil || ff.locked[ff.recvObj] {
+				continue
+			}
+			if si.sites > 0 && si.sites == si.locked {
+				ff.locked[ff.recvObj] = true
+				changed = true
+			}
+		}
+	}
+}
+
+// receiverObject resolves fn's receiver identifier, nil for free
+// functions and anonymous receivers.
+func receiverObject(info *types.Info, fn *ast.FuncDecl) types.Object {
+	if fn.Recv == nil || len(fn.Recv.List) != 1 || len(fn.Recv.List[0].Names) != 1 {
+		return nil
+	}
+	return info.Defs[fn.Recv.List[0].Names[0]]
+}
+
+// methodCalls finds fn's calls to same-unit methods, recording the base
+// object of each call's receiver chain.
+func methodCalls(info *types.Info, graph *dataflow.Graph, fn *ast.FuncDecl) []callEdge {
+	var edges []callEdge
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		obj, ok := info.Uses[sel.Sel].(*types.Func)
+		if !ok {
+			return true
+		}
+		callee := graph.DeclOf(obj)
+		if callee == nil || callee.Recv == nil {
+			return true
+		}
+		edges = append(edges, callEdge{callee: callee, recv: baseObject(info, sel.X)})
+		return true
+	})
+	return edges
+}
+
+// rvalueBase reports whether a selector base bottoms out in a call or
+// composite literal by value: r.Stats().Runs reads a field off a
+// temporary copy, which cannot race with the guarded original. A pointer
+// anywhere in the chain re-enters shared memory and disqualifies it.
+func rvalueBase(info *types.Info, e ast.Expr) bool {
+	for {
+		if t := info.TypeOf(e); t != nil {
+			if _, isPtr := t.Underlying().(*types.Pointer); isPtr {
+				return false
+			}
+		}
+		switch x := e.(type) {
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.CallExpr, *ast.CompositeLit:
+			return true
+		default:
+			return false
+		}
+	}
+}
+
+// valueTyped reports whether obj is a variable of (non-pointer) struct
+// type: accesses through it touch a copy, not the shared original.
+func valueTyped(obj types.Object) bool {
+	v, ok := obj.(*types.Var)
+	if !ok {
+		return false
+	}
+	_, isStruct := v.Type().Underlying().(*types.Struct)
+	return isStruct
+}
+
+// lockRoots finds objects x for which fn calls x.<mutexField>.Lock or
+// RLock anywhere in its body.
+func lockRoots(info *types.Info, fn *ast.FuncDecl) map[types.Object]bool {
+	roots := make(map[types.Object]bool)
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock") {
+			return true
+		}
+		// x.mu.Lock(): the receiver chain is x.mu; its base is x.
+		inner, ok := sel.X.(*ast.SelectorExpr)
+		if !ok || !isMutex(info.TypeOf(inner)) {
+			return true
+		}
+		if root := baseObject(info, inner.X); root != nil {
+			roots[root] = true
+		}
+		return true
+	})
+	return roots
+}
+
+// freshLocals finds local variables bound to a fresh allocation
+// (&T{...}, T{...} or new(T)) in fn's own body: no other goroutine can
+// reach them, so plain initialization is safe.
+func freshLocals(info *types.Info, fn *ast.FuncDecl) map[types.Object]bool {
+	fresh := make(map[types.Object]bool)
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || as.Tok != token.DEFINE || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			if !isFreshExpr(as.Rhs[i]) {
+				continue
+			}
+			if obj := info.Defs[id]; obj != nil {
+				fresh[obj] = true
+			}
+		}
+		return true
+	})
+	return fresh
+}
+
+func isFreshExpr(e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.CompositeLit:
+		return true
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			_, ok := e.X.(*ast.CompositeLit)
+			return ok
+		}
+	case *ast.CallExpr:
+		if id, ok := e.Fun.(*ast.Ident); ok && id.Name == "new" {
+			return true
+		}
+	}
+	return false
+}
+
+// atomicAddresses finds the selector expressions whose addresses are
+// passed to sync/atomic functions: atomic.AddUint64(&s.hits, 1) marks
+// s.hits as an atomic access.
+func atomicAddresses(info *types.Info, fn *ast.FuncDecl) map[*ast.SelectorExpr]bool {
+	marked := make(map[*ast.SelectorExpr]bool)
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || !isAtomicCall(info, call) {
+			return true
+		}
+		for _, arg := range call.Args {
+			un, ok := arg.(*ast.UnaryExpr)
+			if !ok || un.Op != token.AND {
+				continue
+			}
+			if sel, ok := un.X.(*ast.SelectorExpr); ok {
+				marked[sel] = true
+			}
+		}
+		return true
+	})
+	return marked
+}
+
+func isAtomicCall(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	obj, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || obj.Pkg() == nil {
+		return false
+	}
+	return obj.Pkg().Path() == "sync/atomic"
+}
+
+// isMutex reports whether t is sync.Mutex or sync.RWMutex (possibly
+// behind a pointer).
+func isMutex(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Pkg().Path() == "sync" &&
+		(named.Obj().Name() == "Mutex" || named.Obj().Name() == "RWMutex")
+}
+
+// fromSyncPackage reports whether a type is declared in sync or
+// sync/atomic; such fields synchronize through their own method sets.
+func fromSyncPackage(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	path := named.Obj().Pkg().Path()
+	return path == "sync" || path == "sync/atomic"
+}
+
+// baseObject resolves the base identifier of a selector chain.
+func baseObject(info *types.Info, e ast.Expr) types.Object {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return info.Uses[x]
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}

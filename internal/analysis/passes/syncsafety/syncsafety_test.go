@@ -1,0 +1,34 @@
+package syncsafety_test
+
+import (
+	"testing"
+
+	"clustersim/internal/analysis/analysistest"
+	"clustersim/internal/analysis/passes/syncsafety"
+)
+
+func TestSyncSafety(t *testing.T) {
+	analysistest.Run(t, "testdata", syncsafety.Analyzer,
+		"clustersim/internal/telemetry/syncfix")
+}
+
+func TestIsSyncPackage(t *testing.T) {
+	cases := []struct {
+		path string
+		want bool
+	}{
+		{"clustersim/internal/runner", true},
+		{"clustersim/internal/telemetry", true},
+		{"clustersim/internal/obs", true},
+		{"clustersim/internal/telemetry/syncfix", true},
+		{"clustersim/internal/runner_test", true},
+		{"clustersim/internal/pipeline", false},
+		{"clustersim/internal/core", false},
+		{"clustersim/cmd/clustersim", false},
+	}
+	for _, tc := range cases {
+		if got := syncsafety.IsSyncPackage(tc.path); got != tc.want {
+			t.Errorf("IsSyncPackage(%q) = %t, want %t", tc.path, got, tc.want)
+		}
+	}
+}

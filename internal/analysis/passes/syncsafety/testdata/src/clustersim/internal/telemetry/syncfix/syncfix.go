@@ -1,0 +1,92 @@
+// Package syncfix is the syncsafety fixture corpus.
+package syncfix
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type stats struct {
+	mu     sync.Mutex
+	guard  int
+	ewma   float64
+	hits   uint64
+	misses uint64
+	typed  atomic.Uint64
+	limit  int
+	cold   int
+}
+
+// record synchronizes correctly: guard under the mutex, hits atomically.
+func (s *stats) record() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.guard++
+	s.fold()
+	atomic.AddUint64(&s.hits, 1)
+	s.typed.Add(1)
+	if s.guard > s.limit { // reading limit under the lock does not guard it
+		s.guard = s.limit
+	}
+}
+
+// fold is called only while record holds the lock: its receiver inherits
+// the lock context, so the plain-looking write to ewma is locked.
+func (s *stats) fold() {
+	s.ewma = 0.8*s.ewma + 0.2*float64(s.guard)
+}
+
+// peek races: guard has locked writes in record, hits atomic accesses.
+func (s *stats) peek() (int, uint64) {
+	g := s.guard // want `plain access to field guard in peek, but record writes it under a mutex`
+	h := s.hits  // want `plain access to field hits in peek, but record accesses it via sync/atomic`
+	e := s.ewma  // want `plain access to field ewma in peek, but fold writes it under a mutex`
+	_ = e
+	return g, h
+}
+
+// snapshot is fine: it takes the same mutex before reading.
+func (s *stats) snapshot() stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return stats{guard: s.guard, ewma: s.ewma}
+}
+
+// consume reads fields off a value copy: a copy is its own memory and
+// cannot race with the guarded original.
+func consume(s *stats) int {
+	snap := s.snapshot()
+	direct := s.snapshot().guard // rvalue temporary: also a copy
+	return snap.guard + int(snap.ewma) + direct
+}
+
+// tune writes limit plainly; limit is only ever read under the lock, and
+// an incidental locked read does not make a configuration field guarded.
+func (s *stats) tune(n int) {
+	s.limit = n
+}
+
+// handoff documents an external happens-before edge the pass cannot see.
+func (s *stats) handoff() uint64 {
+	return s.hits //simlint:allow syncsafety read after Wait, all writers joined
+}
+
+// newStats initializes plainly on a fresh object: nothing else can hold a
+// reference yet, so no report.
+func newStats() *stats {
+	s := &stats{}
+	s.guard = 0
+	s.hits = 0
+	return s
+}
+
+// touchCold never synchronizes cold anywhere, so plain access is fine.
+func (s *stats) touchCold() int {
+	s.cold++
+	return s.cold
+}
+
+// misses is only ever accessed atomically: nothing to report.
+func (s *stats) miss() {
+	atomic.AddUint64(&s.misses, 1)
+}

@@ -5,16 +5,25 @@ package suite
 
 import (
 	"clustersim/internal/analysis"
+	"clustersim/internal/analysis/passes/cachekey"
 	"clustersim/internal/analysis/passes/determinism"
+	"clustersim/internal/analysis/passes/errflow"
+	"clustersim/internal/analysis/passes/hotalloc"
 	"clustersim/internal/analysis/passes/nopanic"
 	"clustersim/internal/analysis/passes/snapstate"
 	"clustersim/internal/analysis/passes/statsconserve"
+	"clustersim/internal/analysis/passes/syncsafety"
 )
 
-// Analyzers is the full simlint suite.
+// Analyzers is the full simlint suite: the four syntactic PR-5 passes
+// followed by the four dataflow-aware passes.
 var Analyzers = []*analysis.Analyzer{
 	determinism.Analyzer,
 	snapstate.Analyzer,
 	statsconserve.Analyzer,
 	nopanic.Analyzer,
+	cachekey.Analyzer,
+	hotalloc.Analyzer,
+	syncsafety.Analyzer,
+	errflow.Analyzer,
 }

@@ -75,7 +75,9 @@ func TestInvariantsGridTopology(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	p.Run(matrixWindow(t))
+	if _, err := p.Run(matrixWindow(t)); err != nil {
+		t.Fatal(err)
+	}
 	if err := chk.Err(); err != nil {
 		t.Fatal(err)
 	}
@@ -125,7 +127,7 @@ func TestCheckerReuseIsDetected(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		p.Run(1_000)
+		p.Run(1_000) //simlint:allow errflow the checker-reuse violation is the observable, harvested via Err below
 	}
 	err := chk.Err()
 	if err == nil {
@@ -187,9 +189,11 @@ func TestCheckedRunAllocBudget(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	p.Run(50_000)
+	if _, err := p.Run(50_000); err != nil {
+		t.Fatal(err)
+	}
 	avg := testing.AllocsPerRun(10, func() {
-		p.Run(10_000)
+		p.Run(10_000) //simlint:allow errflow error checks would perturb the allocation measurement; the warmup run above asserts health
 	})
 	if avg > 8 {
 		t.Errorf("checked run: %.1f allocs per 10K-instruction window, budget 8", avg)

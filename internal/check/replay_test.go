@@ -126,5 +126,5 @@ func TestReplayExhaustionIsRunError(t *testing.T) {
 			t.Fatalf("panicked with %T, want *trace.ExhaustedError", r)
 		}
 	}()
-	p.Run(10_000)
+	p.Run(10_000) //simlint:allow errflow the run must panic with ExhaustedError; the deferred recover is the assertion
 }

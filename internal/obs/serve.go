@@ -56,11 +56,11 @@ func Serve(addr string, r *Registry, opts ...ServeOption) (bound string, close f
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
-		r.Snapshot().WriteJSON(w)
+		r.Snapshot().WriteJSON(w) //simlint:allow errflow a failed response write is the client's disconnect; nothing to recover server-side
 	})
 	mux.HandleFunc("/metrics.csv", func(w http.ResponseWriter, req *http.Request) {
 		w.Header().Set("Content-Type", "text/csv")
-		r.Snapshot().WriteCSV(w)
+		r.Snapshot().WriteCSV(w) //simlint:allow errflow a failed response write is the client's disconnect; nothing to recover server-side
 	})
 	mux.Handle("/debug/vars", expvar.Handler())
 	if cfg.pprof {

@@ -168,7 +168,7 @@ func (s *JSONLSink) Emit(ev *Event) {
 	b = appendEventJSON(b, ev)
 	b = append(b, '\n')
 	s.scratch = b
-	s.w.Write(b)
+	s.w.Write(b) //simlint:allow errflow bufio's error is sticky and surfaces at Close's Flush; Emit stays fire-and-forget
 }
 
 // Close flushes buffered output and closes the underlying writer if it is
@@ -276,7 +276,7 @@ type ChromeSink struct {
 // NewChromeSink wraps w; if w is also an io.Closer, Close closes it.
 func NewChromeSink(w io.Writer) *ChromeSink {
 	s := &ChromeSink{w: bufio.NewWriterSize(w, 64<<10), first: true}
-	s.w.WriteString("[\n")
+	s.w.WriteString("[\n") //simlint:allow errflow bufio's error is sticky and surfaces at Close's Flush
 	if c, ok := w.(io.Closer); ok {
 		s.c = c
 	}
@@ -311,7 +311,7 @@ func (s *ChromeSink) Emit(ev *Event) {
 		b = s.counter(b, "link_utilization", ev.Cycle, ev.LinkUtil)
 		b = s.counter(b, "bank_queue", ev.Cycle, ev.BankQueue)
 		s.scratch = b
-		s.w.Write(b)
+		s.w.Write(b) //simlint:allow errflow bufio's error is sticky and surfaces at Close's Flush
 		return
 	default:
 		b = s.open(b, ev.Kind.String(), "i", ev.Cycle)
@@ -336,7 +336,7 @@ func (s *ChromeSink) Emit(ev *Event) {
 		b = append(b, "}}"...)
 	}
 	s.scratch = b
-	s.w.Write(b)
+	s.w.Write(b) //simlint:allow errflow bufio's error is sticky and surfaces at Close's Flush
 }
 
 // open starts one trace_event record through the shared preamble.
@@ -378,7 +378,7 @@ func (s *ChromeSink) commonArgs(b []byte, ev *Event) []byte {
 // Close terminates the JSON array, flushes, and closes the underlying
 // writer if it is closable.
 func (s *ChromeSink) Close() error {
-	s.w.WriteString("\n]\n")
+	s.w.WriteString("\n]\n") //simlint:allow errflow bufio's error is sticky; the Flush on the next line returns it
 	err := s.w.Flush()
 	if s.c != nil {
 		if cerr := s.c.Close(); err == nil {

@@ -17,6 +17,7 @@
 package pipeline
 
 import (
+	"encoding/binary"
 	"fmt"
 	"hash/fnv"
 
@@ -160,7 +161,7 @@ type Config struct {
 	// and the fuzz differential) — so the knob exists purely as the
 	// differential oracle and a perf baseline. The zero value selects the
 	// event-driven stepper.
-	LegacyStepper bool
+	LegacyStepper bool //simlint:nokey timing-equivalent steppers share snapshots and cache keys (StepperEquivalence oracle)
 
 	// WatchdogCycles is how many cycles may elapse without a commit before
 	// Run/RunCycles give up and return a *DeadlockError. Zero selects the
@@ -172,13 +173,13 @@ type Config struct {
 	// sinks and cycle-sampled probes) to the processor and, when the
 	// Controller supports it, to the controller's decision reporting.
 	// Nil disables all instrumentation at zero hot-path cost.
-	Observer *obs.Observer
+	Observer *obs.Observer //simlint:nokey observers never influence timing, and observed requests are uncacheable
 
 	// Checker attaches a cycle-level invariant checker (see check.go and
 	// package internal/check) that observes the machine state at the end
 	// of every cycle. Nil disables checking at zero hot-path cost.
 	// Checkers are stateful: every concurrent run needs its own instance.
-	Checker Checker
+	Checker Checker //simlint:nokey checked requests are uncacheable; the runner folds the validation mode into its own key for dedup
 
 	// Phases attaches a wall-clock phase timer that attributes the
 	// simulator's own execution time to cycle-loop stages by sampling one
@@ -187,7 +188,7 @@ type Config struct {
 	// it — so it is excluded from Fingerprint and the runner's cache key,
 	// and one timer may be shared across concurrent runs (its counters are
 	// atomic). Nil disables attribution at zero hot-path cost.
-	Phases *telemetry.PhaseTimer
+	Phases *telemetry.PhaseTimer //simlint:nokey wall-clock attribution observes the simulator, never the simulation
 }
 
 // DefaultConfig returns the paper's Table 1 16-cluster machine with the
@@ -281,31 +282,85 @@ func (c Config) Validate() error {
 // Fingerprint returns a hash of every timing-relevant configuration field.
 // Snapshots embed it so a checkpoint cannot be restored into a processor
 // built from a different configuration (which would silently produce wrong
-// results). Observer, Checker and Phases attachments are excluded: they do
-// not influence timing (and the first two are never part of a checkpointed
-// run).
+// results), and the runner's cache key folds it in so two different
+// machines can never alias one cached Result.
+//
+// Every field is folded explicitly, one fixed-width or length-prefixed
+// write per field in declaration order, which keeps the encoding injective
+// and lets the cachekey analysis prove completeness: adding a Config field
+// without a fold here (or deleting a fold) fails simlint. The excluded
+// attachments carry //simlint:nokey justifications on their declarations.
 func (c Config) Fingerprint() uint64 {
 	h := fnv.New64a()
-	cc := c
-	cc.CacheConfig = nil
-	cc.BranchPred = nil
-	cc.BankPred = nil
-	cc.Observer = nil
-	cc.Checker = nil
-	cc.Phases = nil
-	// The stepper choice does not influence timing (the two are proven
-	// byte-identical), so snapshots and cache keys are shared across modes.
-	cc.LegacyStepper = false
-	fmt.Fprintf(h, "%+v", cc)
-	if c.CacheConfig != nil {
-		fmt.Fprintf(h, "|cache:%+v", *c.CacheConfig)
+	fold := func(v uint64) {
+		var b [8]byte
+		binary.BigEndian.PutUint64(b[:], v)
+		h.Write(b[:])
 	}
+	foldBool := func(v bool) {
+		if v {
+			fold(1)
+		} else {
+			fold(0)
+		}
+	}
+	// foldSub hashes an optional sub-config as a presence marker plus a
+	// length-prefixed rendering, so nil, zero-valued and absent configs
+	// stay distinguishable.
+	foldSub := func(s string, present bool) {
+		if !present {
+			fold(0)
+			return
+		}
+		fold(1)
+		fold(uint64(len(s)))
+		h.Write([]byte(s))
+	}
+
+	fold(uint64(c.Clusters))
+	fold(uint64(c.ActiveClusters))
+	fold(uint64(c.IQPerCluster))
+	fold(uint64(c.RegsPerCluster))
+	fold(uint64(c.IntALU))
+	fold(uint64(c.IntMulDiv))
+	fold(uint64(c.FPALU))
+	fold(uint64(c.FPMulDiv))
+	fold(uint64(c.LSQPerCluster))
+	fold(uint64(c.FetchWidth))
+	fold(uint64(c.FetchQueue))
+	fold(uint64(c.DispatchWidth))
+	fold(uint64(c.CommitWidth))
+	fold(uint64(c.ROB))
+	fold(uint64(c.FrontLatency))
+	fold(uint64(c.Topology))
+	fold(uint64(c.HopLatency))
+	fold(uint64(c.Cache))
+	if c.CacheConfig != nil {
+		foldSub(fmt.Sprintf("%+v", *c.CacheConfig), true)
+	} else {
+		foldSub("", false)
+	}
+	fold(uint64(c.Steering))
+	fold(uint64(c.ImbalanceThreshold))
+	fold(uint64(c.ModN))
+	fold(uint64(c.DistantDepth))
+	foldBool(c.CritTable)
+	foldBool(c.ICacheEnabled)
+	foldBool(c.TLBEnabled)
+	foldBool(c.FreeRegComm)
+	foldBool(c.FreeLoadComm)
+	foldBool(c.PerfectBankPred)
 	if c.BranchPred != nil {
-		fmt.Fprintf(h, "|bpred:%+v", *c.BranchPred)
+		foldSub(fmt.Sprintf("%+v", *c.BranchPred), true)
+	} else {
+		foldSub("", false)
 	}
 	if c.BankPred != nil {
-		fmt.Fprintf(h, "|bank:%+v", *c.BankPred)
+		foldSub(fmt.Sprintf("%+v", *c.BankPred), true)
+	} else {
+		foldSub("", false)
 	}
+	fold(c.WatchdogCycles)
 	return h.Sum64()
 }
 

@@ -24,12 +24,14 @@ func corruptedRun(t *testing.T, delta int) *check.Invariants {
 	if err != nil {
 		t.Fatal(err)
 	}
-	p.Run(5_000)
+	if _, err := p.Run(5_000); err != nil {
+		t.Fatal(err)
+	}
 	if err := chk.Err(); err != nil {
 		t.Fatalf("checker flagged the uncorrupted machine: %v", err)
 	}
 	p.CorruptScoreboardForTest(delta)
-	p.Run(10_000)
+	p.Run(10_000) //simlint:allow errflow the deliberately corrupted machine may fail its run; the checker verdict is the observable
 	return chk
 }
 

@@ -130,7 +130,7 @@ func (p *Processor) observeSample() {
 		p.oh.hLinkUtil.Observe(linkUtil)
 		p.syncObsCounters()
 	}
-	o.Emit(&obs.Event{
+	o.Emit(&obs.Event{ //simlint:alloc observer-gated: sampled emission on an instrumented run, never on the bare hot path
 		Cycle:     p.cycle,
 		Kind:      obs.KindSample,
 		IQOcc:     iqOcc,
@@ -153,7 +153,7 @@ func (p *Processor) observeSample() {
 // observeRedirect emits a front-end redirect event for a committed
 // mispredicted control transfer.
 func (p *Processor) observeRedirect(now, seq, pc uint64) {
-	p.obs.Emit(&obs.Event{
+	p.obs.Emit(&obs.Event{ //simlint:alloc observer-gated: redirect emission on an instrumented run, never on the bare hot path
 		Cycle: now,
 		Kind:  obs.KindRedirect,
 		Seq:   seq,
@@ -164,7 +164,7 @@ func (p *Processor) observeRedirect(now, seq, pc uint64) {
 // observeReconfig emits an applied reconfiguration. For decentralized
 // reconfigurations, writebacks and drainCycles describe the flush.
 func (p *Processor) observeReconfig(oldActive, newActive int, writebacks, drainCycles uint64) {
-	p.obs.Emit(&obs.Event{
+	p.obs.Emit(&obs.Event{ //simlint:alloc observer-gated: reconfig emission on an instrumented run, never on the bare hot path
 		Cycle:       p.cycle,
 		Kind:        obs.KindReconfig,
 		Policy:      p.policyName(),

@@ -339,7 +339,12 @@ func (p *Processor) canFastForward() bool {
 	return !p.cfg.LegacyStepper && p.chk == nil
 }
 
-// step advances the machine by one cycle.
+// step advances the machine by one cycle. It anchors the hotalloc
+// analysis: everything reachable from here inside the package must stay
+// allocation-free (the alloc-budget tests measure the same property at
+// run time).
+//
+//simlint:hot
 func (p *Processor) step() {
 	if p.ptimer != nil && p.ptimer.Due(p.cycle+1) {
 		p.stepTimed()
@@ -366,6 +371,8 @@ func (p *Processor) step() {
 // phase-timer lap between stages. It is a mirror rather than inline timing
 // branches so the untimed hot path pays only the single Due test — the clock
 // reads live here (inside telemetry), never in the plain step.
+//
+//simlint:hot
 func (p *Processor) stepTimed() {
 	cur := p.ptimer.Begin()
 	p.cycle++
@@ -513,7 +520,7 @@ func (p *Processor) popStore(seq uint64) {
 	if p.storesHead < len(p.stores) && p.stores[p.storesHead] == seq {
 		p.storesHead++
 		if p.storesHead > 4096 {
-			p.stores = append(p.stores[:0], p.stores[p.storesHead:]...)
+			p.stores = append(p.stores[:0], p.stores[p.storesHead:]...) //simlint:alloc compaction copies into the slice's own capacity; the window is bounded by the store queue
 			p.storesHead = 0
 		}
 		return
@@ -637,7 +644,7 @@ func (p *Processor) issueQueue(cs *clusterState, q *[]uint64, now uint64) {
 	for _, seq := range s {
 		u := p.at(seq)
 		if v, _, _ := p.tryIssueV(cs, u, now); v != vIssued {
-			out = append(out, seq)
+			out = append(out, seq) //simlint:alloc in-place filter over s[:0]; writes never outrun reads of the same backing array
 		}
 	}
 	*q = out
@@ -723,7 +730,7 @@ func (p *Processor) tryIssueV(cs *clusterState, u *uop, now uint64) (v issueVerd
 	switch {
 	case u.isLoad():
 		u.agenDoneAt = now + lat
-		p.pendingLoads = append(p.pendingLoads, u.seq)
+		p.pendingLoads = append(p.pendingLoads, u.seq) //simlint:alloc amortized: pendingLoads reaches LSQ-bounded capacity once, then is reused
 	case u.isStore():
 		u.agenDoneAt = now + lat
 		u.doneAt = u.agenDoneAt
@@ -758,7 +765,7 @@ func (p *Processor) storeResolved(u *uop) {
 		if c == int(u.cluster) {
 			continue
 		}
-		p.dummyReleases = append(p.dummyReleases, dummyRelease{at: u.resolveGlobalAt, cluster: int32(c)})
+		p.dummyReleases = append(p.dummyReleases, dummyRelease{at: u.resolveGlobalAt, cluster: int32(c)}) //simlint:alloc amortized: dummyReleases reaches cluster-bounded capacity once, then is reused
 	}
 }
 
@@ -790,7 +797,7 @@ func (p *Processor) memStage() {
 				p.lsqDelta(int(d.cluster), -1)
 				p.progress = true
 			} else {
-				kept = append(kept, d)
+				kept = append(kept, d) //simlint:alloc in-place filter over dummyReleases[:0]; same backing array
 			}
 		}
 		p.dummyReleases = kept
@@ -801,7 +808,7 @@ func (p *Processor) memStage() {
 		for _, seq := range p.pendingLoads {
 			u := p.at(seq)
 			if u.agenDoneAt > now || !p.tryStartLoad(u, now) {
-				kept = append(kept, seq)
+				kept = append(kept, seq) //simlint:alloc in-place filter over pendingLoads[:0]; same backing array
 			} else {
 				// The load's arrival is now computable: wake chained
 				// consumers for the next cycle, when the legacy scan
@@ -939,7 +946,7 @@ func (p *Processor) dispatchStage() {
 		cs := &p.clusters[cl]
 		if p.cfg.LegacyStepper {
 			q := cs.iqFor(in.Class)
-			*q = append(*q, e.seq)
+			*q = append(*q, e.seq) //simlint:alloc amortized: legacy issue queues reach IQ-bounded capacity once, then are reused
 		} else {
 			// First possibly-productive evaluation is dispatchReady:
 			// the legacy scan's earlier probes only observe the
@@ -971,7 +978,7 @@ func (p *Processor) dispatchStage() {
 				p.lsqDelta(cl, 1)
 			}
 			if in.Class == isa.Store {
-				p.stores = append(p.stores, e.seq)
+				p.stores = append(p.stores, e.seq) //simlint:alloc amortized: the store window grows to its 4096-entry compaction bound once
 			}
 			if p.cfg.Cache == DecentralizedCache {
 				u.predictedHome = int32(p.predictHome(in))

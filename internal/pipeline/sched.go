@@ -112,7 +112,7 @@ func (p *Processor) parkU(key, at uint64) {
 		if len(s) != 0 && key <= s[len(s)-1] {
 			p.sched.dirty[b] = true
 		}
-		p.sched.wheel[b] = append(s, key)
+		p.sched.wheel[b] = append(s, key) //simlint:alloc amortized: wheel buckets retain their capacity across wrap-arounds
 		p.sched.wheelCnt++
 		return
 	}
@@ -138,7 +138,7 @@ func (p *Processor) issueStageEvent() {
 	s.wheel[b] = ag[:0]
 	s.wheelCnt -= len(ag)
 	for len(s.overflow) > 0 && s.overflow[0].at <= now {
-		ag = append(ag, heapPopWake(&s.overflow).key)
+		ag = append(ag, heapPopWake(&s.overflow).key) //simlint:alloc amortized: overflow drain refills a bucket that keeps its capacity
 		s.dirty[b] = true
 	}
 	if s.dirty[b] {
@@ -524,7 +524,7 @@ func sortKeysAsc(s []uint64) {
 // slice (binary search plus shift; keys are unique, and k belongs at or
 // after lo). Used only for mid-evaluation wakes into the live agenda.
 func insertKeyAsc(h *[]uint64, k uint64, lo int) {
-	s := append(*h, 0)
+	s := append(*h, 0) //simlint:alloc amortized: the live agenda retains its capacity across cycles
 	hi := len(s) - 1
 	for lo < hi {
 		mid := int(uint(lo+hi) >> 1)
@@ -544,7 +544,7 @@ func wakeLess(a, b schedWake) bool {
 }
 
 func heapPushWake(h *[]schedWake, w schedWake) {
-	s := append(*h, w)
+	s := append(*h, w) //simlint:alloc amortized: the wake heap retains its capacity across cycles
 	i := len(s) - 1
 	for i > 0 {
 		parent := (i - 1) / 2

@@ -111,8 +111,8 @@ func (p *ProgressWriter) Emit(ev *ProgressEvent) {
 	if err != nil {
 		return
 	}
-	p.w.Write(b)
-	p.w.WriteByte('\n')
+	p.w.Write(b)        //simlint:allow errflow the progress stream is best-effort; a broken pipe must not fail the sweep
+	p.w.WriteByte('\n') //simlint:allow errflow the progress stream is best-effort; a broken pipe must not fail the sweep
 	p.w.Flush()
 }
 
